@@ -1,0 +1,51 @@
+"""Ablation benches for the calibration decisions (DESIGN.md §4).
+
+Each bench regenerates one ablation table and asserts the decision it
+justifies still holds on current code.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_ablation(benchmark, capsys):
+    def _run(ablation_id: str):
+        from repro.experiments.ablations import ABLATIONS
+
+        report = benchmark.pedantic(
+            lambda: ABLATIONS[ablation_id](scale="quick"),
+            rounds=1, iterations=1,
+        )
+        with capsys.disabled():
+            print()
+            print(report.render())
+        return report
+
+    return _run
+
+
+def test_a01_playoff_self_counting(run_ablation):
+    report = run_ablation("A01")
+    # Receptions-only Playoff keeps the Lemma 2 floor clearly above the
+    # paper-bookkeeping variant at practical scale.
+    assert report.metrics["receptions_only"] >= report.metrics["paper"]
+
+
+def test_a02_ceps_sweep(run_ablation):
+    report = run_ablation("A02")
+    # Every c_eps variant still completes broadcast (no FAIL cells).
+    assert all(row[3] != "FAIL" for row in report.rows)
+
+
+def test_a03_dissemination_sweep(run_ablation):
+    report = run_ablation("A03")
+    assert "best_c" in report.metrics
+    # The shipped default (6.0) is within the reliable band.
+    cs = [row[0] for row in report.rows if row[2] == "1.00"]
+    assert 6.0 in cs
+
+
+def test_a04_coloring_refresh(run_ablation):
+    report = run_ablation("A04")
+    # Both variants succeed on backbone-colored networks.
+    assert all(row[2] == "1.00" for row in report.rows)

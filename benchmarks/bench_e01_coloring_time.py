@@ -1,0 +1,9 @@
+"""E01 — coloring round complexity (Fact 7: O(log^2 n))."""
+
+
+def test_e01_coloring_time(run_experiment):
+    report = run_experiment("E01")
+    # The exact schedule shape a*log^2 n + b*log n fits essentially
+    # perfectly, and growth vs n is sub-polynomial.
+    assert report.metrics["log_poly_r2"] > 0.999
+    assert report.metrics["growth_exponent"] < 0.8

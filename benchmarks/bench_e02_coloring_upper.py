@@ -1,0 +1,10 @@
+"""E02 — Lemma 1: per-color unit-ball mass bounded by a constant."""
+
+
+def test_e02_lemma1_upper_density(run_experiment):
+    report = run_experiment("E02")
+    # Masses stay below a small constant across sizes and geometries,
+    # despite per-station probabilities spanning two orders of magnitude.
+    assert report.metrics["max_mass"] < 2.0
+    # Growth with n stays well below any polynomial trend.
+    assert abs(report.metrics["worst_growth_exponent"]) < 0.6

@@ -1,0 +1,9 @@
+"""E03 — Lemma 2: constant-mass color near every station."""
+
+
+def test_e03_lemma2_lower_density(run_experiment):
+    report = run_experiment("E03")
+    # Bounded below at the effective proximity radius: no station is left
+    # without a usable color in its neighbourhood.
+    assert report.metrics["min_effective_mass"] > 0.005
+    assert report.metrics["min_p10_mass"] > 0.01

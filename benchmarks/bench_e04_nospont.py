@@ -1,0 +1,11 @@
+"""E04 — Theorem 1: NoSBroadcast in O(D log^2 n) rounds."""
+
+
+def test_e04_nospont_broadcast(run_experiment):
+    report = run_experiment("E04")
+    assert report.metrics["success_rate"] == 1.0
+    # Linear in D at fixed n.
+    assert report.metrics["depth_affine_r2"] > 0.95
+    assert report.metrics["depth_slope"] > 0
+    # Sub-polynomial in n at pinned diameter (log^2 n-compatible).
+    assert report.metrics["size_growth_exponent"] < 0.85

@@ -1,0 +1,10 @@
+"""E05 — Theorem 2: SBroadcast in O(D log n + log^2 n) rounds."""
+
+
+def test_e05_spont_broadcast(run_experiment):
+    report = run_experiment("E05")
+    assert report.metrics["success_rate"] == 1.0
+    assert report.metrics["depth_affine_r2"] > 0.95
+    assert report.metrics["depth_slope"] > 0
+    # Near-flat in n at pinned diameter (the coloring term dominates).
+    assert report.metrics["size_growth_exponent"] < 0.5

@@ -1,0 +1,9 @@
+"""E06 — the ~log n gap between the two wake-up models."""
+
+
+def test_e06_wakeup_gap(run_experiment):
+    report = run_experiment("E06")
+    # NoSBroadcast pays a fresh coloring every phase: the ratio exceeds 1
+    # everywhere and grows with n.
+    assert report.metrics["min_ratio"] > 1.0
+    assert report.metrics["max_ratio"] > report.metrics["min_ratio"]

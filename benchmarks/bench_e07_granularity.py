@@ -1,0 +1,8 @@
+"""E07 — flat in granularity Rs (the comparison against Daum et al. [5])."""
+
+
+def test_e07_granularity_independence(run_experiment):
+    report = run_experiment("E07")
+    # SBroadcast rounds are flat in Rs across ~4 orders of magnitude
+    # (log-log slope ~ 0), while the [5] bound grows as log^(alpha+1) Rs.
+    assert abs(report.metrics["sb_vs_rs_exponent"]) < 0.15

@@ -1,0 +1,11 @@
+"""E08 — flat in max degree Delta (vs local-broadcast composition)."""
+
+
+def test_e08_density_independence(run_experiment):
+    report = run_experiment("E08")
+    # The local-broadcast baseline pays ~linearly in Delta; SBroadcast's
+    # exponent stays far below it.
+    assert (
+        report.metrics["sb_vs_delta_exponent"]
+        < report.metrics["lb_vs_delta_exponent"] - 0.3
+    )

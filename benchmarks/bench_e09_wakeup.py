@@ -1,0 +1,9 @@
+"""E09 — ad hoc wake-up under adversarial schedules (Sect. 5)."""
+
+
+def test_e09_adhoc_wakeup(run_experiment):
+    report = run_experiment("E09")
+    assert report.metrics["success_rate"] == 1.0
+    # Wake time stays within a constant multiple of D log^2 n for every
+    # adversarial schedule.
+    assert report.metrics["max_normalized_time"] < 40.0

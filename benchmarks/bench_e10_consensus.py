@@ -1,0 +1,9 @@
+"""E10 — consensus linear in log x (Sect. 5)."""
+
+
+def test_e10_consensus(run_experiment):
+    report = run_experiment("E10")
+    assert report.metrics["correct_rate"] == 1.0
+    # Rounds grow linearly in the bit-width of the message space.
+    assert report.metrics["bits_fit"] == "n"
+    assert report.metrics["bits_fit_r2"] > 0.9

@@ -1,0 +1,6 @@
+"""E11 — leader election: unique leader whp (Sect. 5)."""
+
+
+def test_e11_leader_election(run_experiment):
+    report = run_experiment("E11")
+    assert report.metrics["unique_rate"] == 1.0

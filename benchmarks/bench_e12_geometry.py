@@ -1,0 +1,12 @@
+"""E12 — geometry-independence (the paper's headline claim)."""
+
+
+def test_e12_geometry_independence(run_experiment):
+    report = run_experiment("E12")
+    # Same communication graph, different in-ball geometry: spread is
+    # sampling noise; varying the graph itself dwarfs it.
+    assert report.metrics["family_spread"] < 0.5
+    assert (
+        report.metrics["with_controls_spread"]
+        > 1.5 * report.metrics["family_spread"]
+    )

@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_eNN`` module regenerates one experiment of DESIGN.md §5 (the
+paper's "tables and figures") under ``pytest-benchmark`` timing, prints the
+result table, and asserts the experiment's headline metric so a benchmark
+run doubles as a validation run.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_experiment(benchmark, capsys):
+    """Benchmark an experiment once and print its report table."""
+
+    def _run(exp_id: str, scale: str = "quick", seed: int = 2014):
+        from repro.experiments.registry import get_experiment
+
+        run = get_experiment(exp_id)
+        report = benchmark.pedantic(
+            lambda: run(scale=scale, seed=seed), rounds=1, iterations=1
+        )
+        with capsys.disabled():
+            print()
+            print(report.render())
+        return report
+
+    return _run

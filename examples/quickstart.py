@@ -1,0 +1,70 @@
+"""Quickstart: broadcast a message over a random SINR network.
+
+Builds a connected uniform deployment, runs the paper's two broadcast
+algorithms plus a baseline, and prints what happened — the 60-second tour
+of the library.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import deploy
+from repro.analysis.tables import render_table
+from repro.baselines import run_decay_broadcast
+from repro.core import (
+    ProtocolConstants,
+    run_nospont_broadcast,
+    run_spont_broadcast,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    # 1. Deploy 64 stations uniformly in a 3x3 square (SINR parameters
+    #    default to the paper's normalization: range 1, alpha=3, beta=1).
+    net = deploy.uniform_square(n=64, side=3.0, rng=rng)
+    info = net.describe()
+    print(
+        f"network: n={info['n']}, diameter D={info['diameter']}, "
+        f"max degree={info['max_degree']}, "
+        f"granularity Rs={info['granularity']:.1f}"
+    )
+
+    # 2. Run the paper's algorithms and a classic baseline from station 0.
+    constants = ProtocolConstants.practical()
+    outcomes = [
+        run_spont_broadcast(net, 0, constants, np.random.default_rng(1)),
+        run_nospont_broadcast(net, 0, constants, np.random.default_rng(2)),
+        run_decay_broadcast(net, 0, np.random.default_rng(3)),
+    ]
+
+    # 3. Report.
+    rows = []
+    for out in outcomes:
+        rows.append(
+            [
+                out.algorithm,
+                "yes" if out.success else "NO",
+                out.completion_round,
+                out.num_informed,
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["algorithm", "complete", "rounds to inform all", "informed"],
+            rows,
+        )
+    )
+    print()
+    print(
+        "SBroadcast pays one global coloring then ~log n rounds per hop;\n"
+        "NoSBroadcast re-colors every phase (no spontaneous wake-up) and\n"
+        "is ~log n slower — exactly the Theorem 1 vs Theorem 2 gap."
+    )
+
+
+if __name__ == "__main__":
+    main()

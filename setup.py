@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package (and no network), so
+PEP 517 editable installs are unavailable; this shim lets
+``pip install -e .`` use the classic ``setup.py develop`` path.  All
+metadata lives in ``setup.cfg``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""Measurement, model fitting and reporting substrate for experiments."""
+
+from repro.analysis.fitting import (
+    FitResult,
+    fit_models,
+    growth_exponent,
+    COMPLEXITY_MODELS,
+)
+from repro.analysis.stats import TrialStats, aggregate_trials, success_rate
+from repro.analysis.tables import render_table
+
+__all__ = [
+    "FitResult",
+    "fit_models",
+    "growth_exponent",
+    "COMPLEXITY_MODELS",
+    "TrialStats",
+    "aggregate_trials",
+    "success_rate",
+    "render_table",
+]

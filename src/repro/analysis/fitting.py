@@ -1,0 +1,165 @@
+"""Least-squares fits against candidate complexity shapes.
+
+The experiments validate *asymptotic shapes*, so each measured series
+(e.g. broadcast rounds vs ``n``) is fit against a family of candidate
+models (``log^2 n``, ``n``, ``n log n``, ...) and the report records which
+model explains the data best (highest R^2 with a single scale constant).
+This turns "the curve looks like D log^2 n" into a number.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+ModelFn = Callable[[np.ndarray], np.ndarray]
+
+
+def _log2(x: np.ndarray) -> np.ndarray:
+    return np.log2(np.maximum(x, 2.0))
+
+
+#: Candidate single-parameter models ``y ~ c * f(x)`` used by experiments.
+COMPLEXITY_MODELS: dict[str, ModelFn] = {
+    "const": lambda x: np.ones_like(np.asarray(x, dtype=float)),
+    "log n": _log2,
+    "log^2 n": lambda x: _log2(x) ** 2,
+    "log^3 n": lambda x: _log2(x) ** 3,
+    "sqrt n": lambda x: np.sqrt(x),
+    "n": lambda x: np.asarray(x, dtype=float),
+    "n log n": lambda x: x * _log2(x),
+    "n^2": lambda x: np.asarray(x, dtype=float) ** 2,
+}
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Outcome of fitting one model to a series."""
+
+    model: str
+    scale: float
+    r_squared: float
+    residuals: tuple
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Model prediction at new points."""
+        return self.scale * COMPLEXITY_MODELS[self.model](np.asarray(x))
+
+
+def fit_single(
+    x: Sequence[float], y: Sequence[float], model: str
+) -> FitResult:
+    """Least-squares fit of ``y ~ c * f(x)`` for a named model."""
+    if model not in COMPLEXITY_MODELS:
+        raise AnalysisError(f"unknown model {model!r}")
+    x_arr = np.asarray(x, dtype=float)
+    y_arr = np.asarray(y, dtype=float)
+    if x_arr.shape != y_arr.shape or x_arr.ndim != 1:
+        raise AnalysisError("x and y must be 1-d arrays of equal length")
+    if x_arr.size < 2:
+        raise AnalysisError("need at least two points to fit")
+    basis = COMPLEXITY_MODELS[model](x_arr)
+    denom = float(np.dot(basis, basis))
+    if denom == 0:
+        raise AnalysisError(f"model {model!r} degenerate on this domain")
+    scale = float(np.dot(basis, y_arr)) / denom
+    pred = scale * basis
+    ss_res = float(np.sum((y_arr - pred) ** 2))
+    ss_tot = float(np.sum((y_arr - y_arr.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else (1.0 if ss_res == 0 else 0.0)
+    return FitResult(
+        model=model,
+        scale=scale,
+        r_squared=r2,
+        residuals=tuple((y_arr - pred).tolist()),
+    )
+
+
+def fit_models(
+    x: Sequence[float],
+    y: Sequence[float],
+    models: Sequence[str] | None = None,
+) -> list[FitResult]:
+    """Fit several models; results sorted by descending R^2."""
+    if models is None:
+        models = list(COMPLEXITY_MODELS)
+    fits = [fit_single(x, y, m) for m in models]
+    return sorted(fits, key=lambda f: f.r_squared, reverse=True)
+
+
+def fit_two_term(
+    x: Sequence[float],
+    y: Sequence[float],
+    model_a: str,
+    model_b: str,
+) -> tuple[float, float, float]:
+    """Least-squares fit ``y ~ a * f(x) + b * g(x)``.
+
+    Used for the paper's two-term bounds (``D log n + log^2 n``,
+    ``a log^2 n + b log n``); returns ``(a, b, r_squared)``.
+    """
+    for model in (model_a, model_b):
+        if model not in COMPLEXITY_MODELS:
+            raise AnalysisError(f"unknown model {model!r}")
+    x_arr = np.asarray(x, dtype=float)
+    y_arr = np.asarray(y, dtype=float)
+    if x_arr.size < 3:
+        raise AnalysisError("need at least three points for a 2-term fit")
+    basis = np.column_stack(
+        [COMPLEXITY_MODELS[model_a](x_arr), COMPLEXITY_MODELS[model_b](x_arr)]
+    )
+    coef, *_ = np.linalg.lstsq(basis, y_arr, rcond=None)
+    pred = basis @ coef
+    ss_res = float(np.sum((y_arr - pred) ** 2))
+    ss_tot = float(np.sum((y_arr - y_arr.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else (1.0 if ss_res == 0 else 0.0)
+    return float(coef[0]), float(coef[1]), r2
+
+
+def growth_exponent(x: Sequence[float], y: Sequence[float]) -> float:
+    """Log-log slope of ``y`` vs ``x`` — the empirical polynomial degree.
+
+    A slope near 0 means "flat in x" (the paper's geometry-independence
+    claims); near 1 linear, etc.  Requires positive data.
+    """
+    x_arr = np.asarray(x, dtype=float)
+    y_arr = np.asarray(y, dtype=float)
+    if np.any(x_arr <= 0) or np.any(y_arr <= 0):
+        raise AnalysisError("growth exponent needs positive data")
+    if x_arr.size < 2:
+        raise AnalysisError("need at least two points")
+    slope = np.polyfit(np.log(x_arr), np.log(y_arr), 1)[0]
+    return float(slope)
+
+
+def daum_bound(
+    diameter: float, n: float, granularity: float, alpha: float
+) -> float:
+    """The Daum et al. [5] round bound ``D log n log^(alpha+1) Rs``.
+
+    Used as the *analytic* comparator in E7: the paper's improvement claim
+    is against this formula, which explodes for exponential granularity
+    while the measured rounds of the paper's algorithms stay flat.
+    """
+    if diameter < 1 or n < 2 or granularity < 1:
+        raise AnalysisError("need D >= 1, n >= 2, Rs >= 1")
+    log_n = math.log2(n)
+    log_rs = max(1.0, math.log2(granularity))
+    return diameter * log_n * log_rs ** (alpha + 1)
+
+
+def paper_bound_spont(diameter: float, n: float) -> float:
+    """``D log n + log^2 n`` (Theorem 2, up to its constant)."""
+    log_n = max(1.0, math.log2(n))
+    return diameter * log_n + log_n ** 2
+
+
+def paper_bound_nospont(diameter: float, n: float) -> float:
+    """``D log^2 n`` (Theorem 1, up to its constant)."""
+    log_n = max(1.0, math.log2(n))
+    return diameter * log_n ** 2

@@ -1,0 +1,75 @@
+"""Trial aggregation for randomized experiments.
+
+Every experiment repeats its measurement over seeded trials; these helpers
+reduce the per-trial values to the summary statistics the tables report
+(mean, median, spread, and success rates for whp claims).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class TrialStats:
+    """Summary of one measured quantity across trials."""
+
+    count: int
+    mean: float
+    median: float
+    std: float
+    minimum: float
+    maximum: float
+    p90: float
+
+    def __str__(self) -> str:
+        return (
+            f"mean={self.mean:.1f} median={self.median:.1f} "
+            f"std={self.std:.1f} range=[{self.minimum:.1f}, "
+            f"{self.maximum:.1f}]"
+        )
+
+
+def aggregate_trials(values: Sequence[float]) -> TrialStats:
+    """Summarize per-trial measurements."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise AnalysisError("cannot aggregate zero trials")
+    return TrialStats(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        median=float(np.median(arr)),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        p90=float(np.percentile(arr, 90)),
+    )
+
+
+def success_rate(successes: Sequence[bool]) -> float:
+    """Fraction of successful trials (the empirical "whp" check)."""
+    flags = list(successes)
+    if not flags:
+        raise AnalysisError("cannot compute a rate over zero trials")
+    return sum(1 for s in flags if s) / len(flags)
+
+
+def relative_spread(values: Sequence[float]) -> float:
+    """``(max - min) / median`` — the dispersion metric E12 reports.
+
+    Geometry-independence predicts that broadcast cost across deployments
+    sharing a communication graph varies only by sampling noise; this
+    statistic quantifies the variation in one number.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise AnalysisError("cannot compute spread of zero values")
+    med = float(np.median(arr))
+    if med == 0:
+        raise AnalysisError("median is zero; spread undefined")
+    return float((arr.max() - arr.min()) / med)

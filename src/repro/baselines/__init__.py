@@ -1,0 +1,32 @@
+"""Comparator algorithms the paper positions itself against.
+
+* :mod:`repro.baselines.uniform` — fixed-probability flooding; the naive
+  strawman whose right probability depends on global density.
+* :mod:`repro.baselines.decay` — a probability-ladder sweep in the spirit
+  of Daum et al. [5]: granularity-oblivious in code but
+  granularity-*sensitive* in round complexity, which is exactly the
+  behaviour the paper's E7 comparison needs (see DESIGN.md §2 for the
+  substitution rationale).
+* :mod:`repro.baselines.local_broadcast` — global broadcast assembled from
+  local-broadcast phases à la Halldórsson–Mitra [11], paying the
+  ``O(D (Delta + log n) log n)`` shape the paper quotes.
+"""
+
+from repro.baselines.base import FloodingNode, run_flooding
+from repro.baselines.uniform import UniformFloodNode, run_uniform_broadcast
+from repro.baselines.decay import DecayNode, run_decay_broadcast
+from repro.baselines.local_broadcast import (
+    LocalBroadcastNode,
+    run_local_broadcast_global,
+)
+
+__all__ = [
+    "FloodingNode",
+    "run_flooding",
+    "UniformFloodNode",
+    "run_uniform_broadcast",
+    "DecayNode",
+    "run_decay_broadcast",
+    "LocalBroadcastNode",
+    "run_local_broadcast_global",
+]

@@ -1,0 +1,53 @@
+"""The paper's contribution: coloring, broadcast, and applications.
+
+* :mod:`repro.core.constants` — the protocol constants, both the paper's
+  theoretical formulas and the calibrated practical values simulations use.
+* :mod:`repro.core.coloring` — ``StabilizeProbability`` (Algorithm 1) with
+  its ``DensityTest`` and ``Playoff`` subroutines.
+* :mod:`repro.core.properties` — verifiers for Lemma 1 and Lemma 2.
+* :mod:`repro.core.broadcast_nospont` — ``NoSBroadcast`` (Theorem 1).
+* :mod:`repro.core.broadcast_spont` — ``SBroadcast`` (Theorem 2).
+* :mod:`repro.core.wakeup`, :mod:`repro.core.consensus`,
+  :mod:`repro.core.leader_election` — the Sect. 5 applications.
+"""
+
+from repro.core.constants import ProtocolConstants, ColoringSchedule
+from repro.core.coloring import (
+    ColoringNode,
+    ColoringResult,
+    run_coloring,
+    FINAL_COLOR_LEVEL,
+)
+from repro.core.properties import (
+    lemma1_max_color_mass,
+    lemma2_min_best_mass,
+    coloring_report,
+)
+from repro.core.broadcast_nospont import NoSBroadcastNode, run_nospont_broadcast
+from repro.core.broadcast_spont import SBroadcastNode, run_spont_broadcast
+from repro.core.wakeup import run_adhoc_wakeup, run_colored_wakeup
+from repro.core.consensus import run_consensus
+from repro.core.leader_election import run_leader_election
+from repro.core.local_broadcast import LocalBroadcastResult, run_local_broadcast
+
+__all__ = [
+    "ProtocolConstants",
+    "ColoringSchedule",
+    "ColoringNode",
+    "ColoringResult",
+    "run_coloring",
+    "FINAL_COLOR_LEVEL",
+    "lemma1_max_color_mass",
+    "lemma2_min_best_mass",
+    "coloring_report",
+    "NoSBroadcastNode",
+    "run_nospont_broadcast",
+    "SBroadcastNode",
+    "run_spont_broadcast",
+    "run_adhoc_wakeup",
+    "run_colored_wakeup",
+    "run_consensus",
+    "run_leader_election",
+    "run_local_broadcast",
+    "LocalBroadcastResult",
+]

@@ -1,0 +1,45 @@
+"""Workload / topology generators.
+
+Each generator returns a :class:`repro.network.Network` with a *connected*
+communication graph (or raises
+:class:`repro.errors.DisconnectedNetworkError`).  All randomness flows
+through an explicit ``numpy.random.Generator`` so every experiment is
+reproducible from its seed.
+
+The families mirror the situations the paper discusses:
+
+* uniform random deployments — the "average" case;
+* grids and grid chains — controlled diameter sweeps at fixed density;
+* chains with geometric gaps — the footnote-2 instance with exponentially
+  large granularity ``Rs`` that separates this paper from Daum et al. [5];
+* clusters — high local density, small diameter (stress for Lemma 1);
+* in-ball perturbations — families of deployments sharing one communication
+  graph but differing in geometry (the paper's headline claim E12).
+"""
+
+from repro.deploy.uniform import uniform_square, uniform_disk
+from repro.deploy.grid import grid, grid_chain, jittered_grid
+from repro.deploy.line import (
+    uniform_chain,
+    geometric_chain,
+    exponential_chain,
+    clustered_chain,
+)
+from repro.deploy.cluster import cluster_network, dumbbell
+from repro.deploy.perturb import perturb_within_balls, same_graph_family
+
+__all__ = [
+    "uniform_square",
+    "uniform_disk",
+    "grid",
+    "grid_chain",
+    "jittered_grid",
+    "uniform_chain",
+    "geometric_chain",
+    "exponential_chain",
+    "clustered_chain",
+    "cluster_network",
+    "dumbbell",
+    "perturb_within_balls",
+    "same_graph_family",
+]

@@ -1,0 +1,108 @@
+"""Perturbations that preserve the communication graph.
+
+The paper's headline claim (Sect. 1.3) is that broadcast cost depends only
+on the communication graph, not on where stations sit *inside* their
+reachability balls.  To test this (experiment E12) we need families of
+deployments with the *same* communication graph but different geometry:
+:func:`perturb_within_balls` jitters stations one at a time, accepting a
+station's move only if its incident communication edges are unchanged
+(per-station rejection sampling — whole-deployment rejection would almost
+never accept once ``n`` exceeds a few dozen, since some edge always sits
+near the threshold).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DeploymentError
+from repro.geometry.metric import MIN_DISTANCE
+from repro.network.network import Network
+
+
+def _edge_set(net: Network) -> frozenset:
+    return frozenset(frozenset(e) for e in net.graph.edges)
+
+
+def _sample_in_ball(
+    rng: np.random.Generator, dim: int, radius: float
+) -> np.ndarray:
+    direction = rng.normal(size=dim)
+    norm = np.linalg.norm(direction)
+    if norm == 0:
+        return np.zeros(dim)
+    r = radius * rng.uniform(0.0, 1.0) ** (1.0 / dim)
+    return direction / norm * r
+
+
+def perturb_within_balls(
+    net: Network,
+    scale: float,
+    rng: np.random.Generator,
+    *,
+    attempts_per_station: int = 25,
+) -> Network:
+    """Jitter stations by up to ``scale`` without changing the graph.
+
+    Visits stations in random order; each station proposes up to
+    ``attempts_per_station`` offsets uniform in the radius-``scale`` ball
+    and keeps the first one that (a) preserves every incident
+    communication edge / non-edge against the *current* positions of the
+    other stations and (b) keeps all pairwise distances above the
+    co-location floor.  Stations with no acceptable move stay put, so the
+    result always shares the original communication graph.
+    """
+    if scale < 0:
+        raise DeploymentError(f"perturbation scale must be >= 0, got {scale}")
+    coords = np.array(net.coords, dtype=float)
+    n, dim = coords.shape
+    comm_r = net.params.comm_radius
+    original_adjacency = net.distances <= comm_r
+    np.fill_diagonal(original_adjacency, False)
+
+    moved = 0
+    if scale > 0 and n > 1:
+        order = rng.permutation(n)
+        others_mask = ~np.eye(n, dtype=bool)
+        for i in order:
+            target_row = original_adjacency[i]
+            for _attempt in range(attempts_per_station):
+                candidate = coords[i] + _sample_in_ball(rng, dim, scale)
+                delta = coords - candidate
+                dist_row = np.sqrt(np.einsum("ij,ij->i", delta, delta))
+                dist_row[i] = np.inf
+                if dist_row.min() < 10 * MIN_DISTANCE:
+                    continue
+                new_row = dist_row <= comm_r
+                if np.array_equal(new_row[others_mask[i]],
+                                  target_row[others_mask[i]]):
+                    coords[i] = candidate
+                    moved += 1
+                    break
+
+    perturbed = Network(
+        coords, params=net.params, metric=net.metric,
+        name=f"{net.name}-perturbed",
+    )
+    if _edge_set(perturbed) != _edge_set(net):
+        raise DeploymentError(
+            "internal error: perturbation changed the communication graph"
+        )
+    return perturbed
+
+
+def same_graph_family(
+    net: Network,
+    scales: list[float],
+    rng: np.random.Generator,
+) -> list[Network]:
+    """A family of deployments sharing ``net``'s communication graph.
+
+    One perturbed copy per entry of ``scales`` (plus the original first).
+    Used by E12: broadcast cost measured across the family should agree
+    within sampling noise if the paper's claim holds.
+    """
+    family = [net]
+    for scale in scales:
+        family.append(perturb_within_balls(net, scale, rng))
+    return family

@@ -1,0 +1,80 @@
+"""Uniform random deployments."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import DeploymentError, DisconnectedNetworkError
+from repro.network.network import Network
+from repro.sinr.params import SINRParameters
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise DeploymentError(message)
+
+
+def uniform_square(
+    n: int,
+    side: float,
+    rng: np.random.Generator,
+    params: Optional[SINRParameters] = None,
+    *,
+    max_attempts: int = 50,
+    name: str = "uniform-square",
+) -> Network:
+    """``n`` stations uniform in an axis-aligned square of given side.
+
+    Redraws up to ``max_attempts`` times until the communication graph is
+    connected — the standard way to sample connected random geometric
+    graphs.  Densities well above the connectivity threshold
+    (``n >> (side/r)^2 log n``) connect on the first draw.
+
+    :raises DisconnectedNetworkError: if no connected draw is found.
+    """
+    _require(n >= 1, f"need at least one station, got n={n}")
+    _require(side > 0, f"square side must be positive, got {side}")
+    if params is None:
+        params = SINRParameters.default()
+    last_error = None
+    for _ in range(max_attempts):
+        coords = rng.uniform(0.0, side, size=(n, 2))
+        net = Network(coords, params=params, name=name)
+        if net.is_connected:
+            return net
+        last_error = DisconnectedNetworkError(
+            f"uniform square deployment (n={n}, side={side}) stayed "
+            f"disconnected after {max_attempts} attempts; increase density"
+        )
+    assert last_error is not None
+    raise last_error
+
+
+def uniform_disk(
+    n: int,
+    radius: float,
+    rng: np.random.Generator,
+    params: Optional[SINRParameters] = None,
+    *,
+    max_attempts: int = 50,
+    name: str = "uniform-disk",
+) -> Network:
+    """``n`` stations uniform in a disk (area-uniform, via sqrt sampling)."""
+    _require(n >= 1, f"need at least one station, got n={n}")
+    _require(radius > 0, f"disk radius must be positive, got {radius}")
+    if params is None:
+        params = SINRParameters.default()
+    for _ in range(max_attempts):
+        r = radius * np.sqrt(rng.uniform(0.0, 1.0, size=n))
+        theta = rng.uniform(0.0, 2.0 * math.pi, size=n)
+        coords = np.column_stack([r * np.cos(theta), r * np.sin(theta)])
+        net = Network(coords, params=params, name=name)
+        if net.is_connected:
+            return net
+    raise DisconnectedNetworkError(
+        f"uniform disk deployment (n={n}, radius={radius}) stayed "
+        f"disconnected after {max_attempts} attempts; increase density"
+    )

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch one base class.  The subclasses
+partition the failure modes along the package layers: geometry, deployment,
+simulation, and protocol configuration.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GeometryError(ReproError):
+    """Invalid geometric input (bad coordinates, malformed metric, ...)."""
+
+
+class MetricError(GeometryError):
+    """A distance matrix or metric object violates metric-space axioms."""
+
+
+class DeploymentError(ReproError):
+    """A topology generator received inconsistent parameters."""
+
+
+class DisconnectedNetworkError(DeploymentError):
+    """The communication graph of a generated network is not connected.
+
+    Broadcast is only well defined on connected communication graphs
+    (Sect. 1.1 of the paper); generators raise this when connectivity was
+    requested but cannot be achieved.
+    """
+
+
+class SimulationError(ReproError):
+    """The synchronous engine was driven into an invalid state."""
+
+
+class ProtocolError(ReproError):
+    """A protocol node was configured or sequenced incorrectly."""
+
+
+class BudgetExceededError(SimulationError):
+    """A simulation exceeded its round budget before reaching its goal.
+
+    Carries the budget and the partial progress so experiment harnesses can
+    report *censored* measurements instead of crashing.
+    """
+
+    def __init__(self, message: str, rounds: int, progress: float = 0.0):
+        super().__init__(message)
+        self.rounds = rounds
+        self.progress = progress
+
+
+class AnalysisError(ReproError):
+    """Invalid input to a fitting or statistics routine."""

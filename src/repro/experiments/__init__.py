@@ -1,0 +1,31 @@
+"""The experiment suite — the paper's "tables and figures".
+
+The paper is theory-only (no evaluation section), so its reproducible
+artifacts are the stated bounds and comparisons; each module here turns
+one claim into a measured table (see DESIGN.md §5 for the full index):
+
+====  ==========================================================
+E01   Fact 7 — coloring takes ``O(log^2 n)`` rounds
+E02   Lemma 1 — per-color unit-ball mass bounded
+E03   Lemma 2 — constant-mass color near every station
+E04   Theorem 1 — NoSBroadcast ``O(D log^2 n)``
+E05   Theorem 2 — SBroadcast ``O(D log n + log^2 n)``
+E06   spontaneous wake-up buys a ``~log n`` factor at large ``D``
+E07   flat in granularity ``Rs`` (vs Daum et al. [5])
+E08   flat in degree ``Delta`` (vs local-broadcast composition)
+E09   ad hoc wake-up ``O(D log^2 n)`` under adversarial wake times
+E10   consensus linear in ``log x``
+E11   leader election — unique leader whp
+E12   geometry-independence across same-graph deployments
+====  ==========================================================
+
+Run from the command line::
+
+    python -m repro.experiments E05 --scale quick
+    python -m repro.experiments all --scale full
+"""
+
+from repro.experiments.base import ExperimentReport
+from repro.experiments.registry import get_experiment, list_experiments
+
+__all__ = ["ExperimentReport", "get_experiment", "list_experiments"]

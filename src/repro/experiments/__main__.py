@@ -1,0 +1,61 @@
+"""Command-line entry point: ``python -m repro.experiments <id|all>``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.base import SCALES
+from repro.experiments.registry import get_experiment, list_experiments
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run the paper-reproduction experiments (see DESIGN.md §5).",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (e.g. E05) or 'all'",
+    )
+    parser.add_argument(
+        "--scale", choices=SCALES, default="quick",
+        help="sweep size: quick (seconds) or full (minutes)",
+    )
+    parser.add_argument("--seed", type=int, default=2014)
+    parser.add_argument(
+        "--markdown", metavar="PATH", default=None,
+        help="additionally write the reports as a Markdown document",
+    )
+    args = parser.parse_args(argv)
+
+    ids = list_experiments() if args.experiment.lower() == "all" else [
+        args.experiment
+    ]
+    reports = []
+    for exp_id in ids:
+        run = get_experiment(exp_id)
+        started = time.perf_counter()
+        report = run(scale=args.scale, seed=args.seed)
+        elapsed = time.perf_counter() - started
+        reports.append(report)
+        print(report.render())
+        print(f"({elapsed:.1f}s)\n")
+    if args.markdown:
+        from repro.experiments.summary import reports_to_markdown
+
+        with open(args.markdown, "w") as handle:
+            handle.write(
+                reports_to_markdown(
+                    reports,
+                    title=f"Experiment results (scale={args.scale}, "
+                          f"seed={args.seed})",
+                )
+            )
+        print(f"markdown written to {args.markdown}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,74 @@
+"""Shared infrastructure for experiment modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.errors import AnalysisError
+
+#: Recognized effort scales.
+SCALES = ("quick", "full")
+
+
+def check_scale(scale: str) -> str:
+    if scale not in SCALES:
+        raise AnalysisError(
+            f"unknown scale {scale!r}; expected one of {SCALES}"
+        )
+    return scale
+
+
+@dataclass
+class ExperimentReport:
+    """Uniform result record produced by every experiment.
+
+    :param exp_id: experiment identifier (``"E05"``).
+    :param title: short human title.
+    :param claim: the paper claim being validated (with its bound).
+    :param headers: column names of the result table.
+    :param rows: table rows (pre-formatted cells).
+    :param metrics: machine-readable key results (asserted by tests and
+        summarized in EXPERIMENTS.md).
+    :param notes: free-form caveats / fit summaries.
+    """
+
+    exp_id: str
+    title: str
+    claim: str
+    headers: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Full plain-text report."""
+        parts = [
+            f"== {self.exp_id}: {self.title} ==",
+            f"claim: {self.claim}",
+            render_table(self.headers, self.rows),
+        ]
+        if self.metrics:
+            parts.append(
+                "metrics: "
+                + ", ".join(f"{k}={v}" for k, v in sorted(self.metrics.items()))
+            )
+        parts.extend(f"note: {n}" for n in self.notes)
+        return "\n".join(parts)
+
+
+def trial_rngs(
+    n_trials: int, seed: int
+) -> Iterator[np.random.Generator]:
+    """Independent, reproducible per-trial generators."""
+    seq = np.random.SeedSequence(seed)
+    for child in seq.spawn(n_trials):
+        yield np.random.default_rng(child)
+
+
+def fmt(value: float, digits: int = 1) -> str:
+    """Fixed-point cell formatting."""
+    return f"{value:.{digits}f}"

@@ -1,0 +1,65 @@
+"""E02 — Lemma 1: per-color unit-ball mass stays below a constant.
+
+Runs the coloring over deployments of growing size and diverse geometry
+and reports the extremal per-color station-centered unit-ball mass; the
+lemma predicts a bound independent of ``n`` and of the deployment family
+(growth exponent vs ``n`` near zero).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.fitting import growth_exponent
+from repro.core.constants import ProtocolConstants
+from repro.core.properties import lemma1_max_color_mass
+from repro.deploy import clustered_chain, uniform_square
+from repro.experiments.base import ExperimentReport, check_scale, fmt, trial_rngs
+from repro.fastsim import fast_coloring
+
+SWEEP = {
+    "quick": [32, 64, 128, 256],
+    "full": [32, 64, 128, 256, 512, 1024],
+}
+
+
+def _deployments(n: int, rng: np.random.Generator):
+    yield "uniform", uniform_square(n=n, side=max(1.0, (n / 16.0) ** 0.5), rng=rng)
+    yield "dense", uniform_square(n=n, side=2.0, rng=rng)
+    per = max(2, n // 16)
+    yield "clusters", clustered_chain(16, per, 0.05, hop=0.55, rng=rng)
+
+
+def run(scale: str = "quick", seed: int = 2014) -> ExperimentReport:
+    check_scale(scale)
+    constants = ProtocolConstants.practical()
+    report = ExperimentReport(
+        exp_id="E02",
+        title="Coloring upper-density property",
+        claim="Lemma 1: per color and unit ball, sum of p_w < C1 (constant)",
+        headers=["deployment", "n", "colors used", "max color mass"],
+    )
+    ns = SWEEP[scale]
+    by_family: dict[str, list[float]] = {}
+    for n, rng in zip(ns, trial_rngs(len(ns), seed)):
+        for name, net in _deployments(n, rng):
+            result = fast_coloring(net, constants, rng)
+            mass = lemma1_max_color_mass(net, result)
+            by_family.setdefault(name, []).append(mass)
+            report.rows.append(
+                [name, net.size, len(result.distinct_colors()), fmt(mass, 3)]
+            )
+    all_masses = [m for ms in by_family.values() for m in ms]
+    report.metrics["max_mass"] = round(max(all_masses), 3)
+    exponents = {
+        name: growth_exponent(ns[: len(ms)], ms)
+        for name, ms in by_family.items()
+        if len(ms) >= 2
+    }
+    worst = max(exponents.values(), key=abs)
+    report.metrics["worst_growth_exponent"] = round(worst, 3)
+    report.notes.append(
+        "growth exponents vs n (0 = constant): "
+        + ", ".join(f"{k}={v:.2f}" for k, v in exponents.items())
+    )
+    return report

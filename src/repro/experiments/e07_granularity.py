@@ -1,0 +1,104 @@
+"""E07 — the paper's algorithms are flat in granularity ``Rs``.
+
+Workload: chains of dense clusters (fixed number of hops, growing cluster
+size with a microscopic intra-cluster span), which drive the granularity
+``Rs = max/min communication-edge length`` up exponentially while the
+diameter stays fixed.
+
+Measured columns: ``SBroadcast`` (ours), the Decay sweep and the uniform
+flood (density-oblivious baselines).  Analytic column: the Daum et al. [5]
+bound ``D log n log^(alpha+1) Rs``, the formula the paper improves on —
+at these granularities it exceeds the measured rounds of ``SBroadcast`` by
+orders of magnitude.  (We compare against [5]'s *bound* rather than a
+reimplementation: no closed pseudo-code of [5] is available, and the
+measured baselines already exhibit the qualitative density coupling; see
+DESIGN.md §2.)
+
+The key metric is the log-log growth exponent of ``SBroadcast`` rounds vs
+``Rs`` — the paper predicts ~0 (flat), while the [5] bound grows
+polynomially in ``log Rs``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.fitting import daum_bound, growth_exponent
+from repro.analysis.stats import aggregate_trials, success_rate
+from repro.core.constants import ProtocolConstants
+from repro.deploy import clustered_chain
+from repro.experiments.base import ExperimentReport, check_scale, fmt, trial_rngs
+from repro.fastsim import (
+    fast_decay_broadcast,
+    fast_spont_broadcast,
+    fast_uniform_broadcast,
+)
+
+SWEEP = {
+    "quick": {"pers": [2, 4, 8], "spans": [2e-2, 2e-4, 2e-6], "trials": 3},
+    "full": {
+        "pers": [2, 4, 8, 16, 32],
+        "spans": [2e-2, 2e-4, 2e-6, 2e-8],
+        "trials": 5,
+    },
+}
+
+HOPS = 12
+
+
+def run(scale: str = "quick", seed: int = 2014) -> ExperimentReport:
+    check_scale(scale)
+    cfg = SWEEP[scale]
+    constants = ProtocolConstants.practical()
+    report = ExperimentReport(
+        exp_id="E07",
+        title="Granularity independence (vs Daum et al. [5])",
+        claim="Sect. 1.3: O(D log n + log^2 n) with no dependence on Rs; "
+              "improves [5]'s O(D log n log^(alpha+1) Rs) for large Rs",
+        headers=[
+            "n", "Rs", "SB rounds", "decay rounds", "uniform rounds",
+            "[5] bound", "SB success",
+        ],
+    )
+    rs_series, sb_series = [], []
+    trial_seed = seed
+    for per in cfg["pers"]:
+        for span in cfg["spans"]:
+            rng0 = next(iter(trial_rngs(1, trial_seed)))
+            net = clustered_chain(HOPS, per, span, hop=0.55, rng=rng0)
+            rs = net.granularity
+            depth = net.diameter
+            sb, dc, un, succ = [], [], [], []
+            for rng in trial_rngs(cfg["trials"], trial_seed):
+                a = fast_spont_broadcast(net, 0, constants, rng)
+                b = fast_decay_broadcast(net, 0, rng)
+                c = fast_uniform_broadcast(net, 0, rng=rng)
+                succ.append(a.success)
+                if a.success:
+                    sb.append(a.completion_round)
+                if b.success:
+                    dc.append(b.completion_round)
+                if c.success:
+                    un.append(c.completion_round)
+            trial_seed += 17
+            sb_mean = aggregate_trials(sb).mean if sb else float("nan")
+            report.rows.append(
+                [
+                    net.size,
+                    f"{rs:.1e}",
+                    fmt(sb_mean),
+                    fmt(aggregate_trials(dc).mean) if dc else "-",
+                    fmt(aggregate_trials(un).mean) if un else "-",
+                    f"{daum_bound(depth, net.size, rs, net.params.alpha):.1e}",
+                    fmt(success_rate(succ), 2),
+                ]
+            )
+            if sb:
+                rs_series.append(rs)
+                sb_series.append(sb_mean)
+    exponent = growth_exponent(rs_series, sb_series)
+    report.metrics["sb_vs_rs_exponent"] = round(exponent, 4)
+    report.notes.append(
+        f"SBroadcast rounds vs Rs grow with log-log slope {exponent:.4f} "
+        "(0 = granularity-independent); the [5] bound spans "
+        "orders of magnitude over the same sweep"
+    )
+    return report

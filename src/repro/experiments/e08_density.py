@@ -1,0 +1,81 @@
+"""E08 — the paper's algorithms are flat in the maximum degree ``Delta``.
+
+Workload: uniform squares of fixed side with growing ``n``, so the degree
+``Delta`` grows linearly in ``n`` while the diameter stays constant.
+
+The local-broadcast composition (Sect. 1.2 comparison, shape
+``O(D (Delta + log n) log n)``) slows down linearly with ``Delta``;
+``SBroadcast`` pays only the ``log^2 n`` coloring.  The crossover — the
+density beyond which the paper's algorithm wins — is the experiment's
+headline number.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.fitting import growth_exponent
+from repro.analysis.stats import aggregate_trials, success_rate
+from repro.core.constants import ProtocolConstants
+from repro.deploy import uniform_square
+from repro.experiments.base import ExperimentReport, check_scale, fmt, trial_rngs
+from repro.fastsim import fast_local_broadcast_global, fast_spont_broadcast
+
+SWEEP = {
+    "quick": {"ns": [32, 64, 128, 256], "trials": 3},
+    "full": {"ns": [32, 64, 128, 256, 512, 1024], "trials": 5},
+}
+
+SIDE = 2.5
+
+
+def run(scale: str = "quick", seed: int = 2014) -> ExperimentReport:
+    check_scale(scale)
+    cfg = SWEEP[scale]
+    constants = ProtocolConstants.practical()
+    report = ExperimentReport(
+        exp_id="E08",
+        title="Density independence (vs local-broadcast composition)",
+        claim="Sect. 1.2: avoid the Delta factor of "
+              "O(D (Delta + log n) log n) local-broadcast-based broadcast",
+        headers=[
+            "n", "Delta", "SB rounds", "local-bc rounds", "ratio",
+            "SB success",
+        ],
+    )
+    deltas, sb_means, lb_means = [], [], []
+    for n, rng0 in zip(cfg["ns"], trial_rngs(len(cfg["ns"]), seed)):
+        net = uniform_square(n=n, side=SIDE, rng=rng0)
+        delta = net.max_degree
+        sb, lb, succ = [], [], []
+        for rng in trial_rngs(cfg["trials"], seed + n):
+            a = fast_spont_broadcast(net, 0, constants, rng)
+            b = fast_local_broadcast_global(net, 0, rng)
+            succ.append(a.success and b.success)
+            if a.success:
+                sb.append(a.completion_round)
+            if b.success:
+                lb.append(b.completion_round)
+        sb_mean = aggregate_trials(sb).mean
+        lb_mean = aggregate_trials(lb).mean
+        deltas.append(delta)
+        sb_means.append(sb_mean)
+        lb_means.append(lb_mean)
+        report.rows.append(
+            [
+                n, delta, fmt(sb_mean), fmt(lb_mean),
+                fmt(lb_mean / max(sb_mean, 1.0), 2),
+                fmt(success_rate(succ), 2),
+            ]
+        )
+    report.metrics["sb_vs_delta_exponent"] = round(
+        growth_exponent(deltas, sb_means), 3
+    )
+    report.metrics["lb_vs_delta_exponent"] = round(
+        growth_exponent(deltas, lb_means), 3
+    )
+    report.metrics["final_ratio"] = round(lb_means[-1] / sb_means[-1], 2)
+    report.notes.append(
+        "local-broadcast rounds grow ~linearly with Delta "
+        f"(exponent {report.metrics['lb_vs_delta_exponent']}); SBroadcast "
+        f"stays near-flat (exponent {report.metrics['sb_vs_delta_exponent']})"
+    )
+    return report

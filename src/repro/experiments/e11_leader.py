@@ -1,0 +1,50 @@
+"""E11 — leader election elects a unique leader whp (Sect. 5).
+
+Random IDs from ``{1..n^3}`` plus consensus; every trial should end with
+all stations agreeing on one ID held by exactly one station, in
+``O(D log^2 n + log^3 n)`` rounds (~``3 log n`` consensus bit boxes).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import aggregate_trials, success_rate
+from repro.core.constants import ProtocolConstants, log2ceil
+from repro.core.leader_election import run_leader_election
+from repro.deploy import uniform_square
+from repro.experiments.base import ExperimentReport, check_scale, fmt, trial_rngs
+
+SWEEP = {
+    "quick": {"ns": [16, 32], "trials": 2},
+    "full": {"ns": [16, 32, 64, 128], "trials": 4},
+}
+
+
+def run(scale: str = "quick", seed: int = 2014) -> ExperimentReport:
+    check_scale(scale)
+    cfg = SWEEP[scale]
+    constants = ProtocolConstants.practical()
+    report = ExperimentReport(
+        exp_id="E11",
+        title="Leader election",
+        claim="Sect. 5: unique leader whp in O(D log^2 n + log^3 n) rounds",
+        headers=["n", "mean rounds", "rounds/log^3 n", "unique-leader rate"],
+    )
+    all_ok = []
+    for n, rng0 in zip(cfg["ns"], trial_rngs(len(cfg["ns"]), seed)):
+        net = uniform_square(n=n, side=2.0, rng=rng0)
+        rounds, ok = [], []
+        for rng in trial_rngs(cfg["trials"], seed + n):
+            result = run_leader_election(net, constants, rng)
+            ok.append(result.success)
+            rounds.append(result.total_rounds)
+        all_ok.extend(ok)
+        stats = aggregate_trials(rounds)
+        logn = log2ceil(n)
+        report.rows.append(
+            [
+                n, fmt(stats.mean), fmt(stats.mean / logn ** 3, 2),
+                fmt(success_rate(ok), 2),
+            ]
+        )
+    report.metrics["unique_rate"] = success_rate(all_ok)
+    return report

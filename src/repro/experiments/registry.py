@@ -1,0 +1,54 @@
+"""Experiment registry and lookup."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import AnalysisError
+from repro.experiments import (
+    e01_coloring_time,
+    e02_lemma1,
+    e03_lemma2,
+    e04_nospont,
+    e05_spont,
+    e06_wakeup_gap,
+    e07_granularity,
+    e08_density,
+    e09_wakeup,
+    e10_consensus,
+    e11_leader,
+    e12_geometry,
+)
+from repro.experiments.base import ExperimentReport
+
+RunFn = Callable[..., ExperimentReport]
+
+_REGISTRY: dict[str, RunFn] = {
+    "E01": e01_coloring_time.run,
+    "E02": e02_lemma1.run,
+    "E03": e03_lemma2.run,
+    "E04": e04_nospont.run,
+    "E05": e05_spont.run,
+    "E06": e06_wakeup_gap.run,
+    "E07": e07_granularity.run,
+    "E08": e08_density.run,
+    "E09": e09_wakeup.run,
+    "E10": e10_consensus.run,
+    "E11": e11_leader.run,
+    "E12": e12_geometry.run,
+}
+
+
+def list_experiments() -> list[str]:
+    """All registered experiment ids, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_experiment(exp_id: str) -> RunFn:
+    """Look up an experiment's ``run`` function by id (case-insensitive)."""
+    key = exp_id.upper()
+    if key not in _REGISTRY:
+        raise AnalysisError(
+            f"unknown experiment {exp_id!r}; known: {list_experiments()}"
+        )
+    return _REGISTRY[key]

@@ -1,0 +1,37 @@
+"""Vectorized re-implementations of the protocols for large sweeps.
+
+The reference implementation (:mod:`repro.sim` + :mod:`repro.core`) keeps
+per-station state machines for fidelity and readability; this package
+re-implements the same protocols on flat numpy arrays, trading the object
+model for an order of magnitude in speed.  Both share
+:class:`repro.core.constants.ColoringSchedule` for all round arithmetic,
+so their phase structures are identical by construction; integration tests
+cross-validate their outputs statistically (colorings satisfying the same
+mass bounds, broadcasts completing in comparable rounds).
+
+One intentional simplification: during a *global* coloring stage the
+reference implementation lets any reception from an informed station carry
+the broadcast payload.  The fast implementations track the same effect via
+an explicit ``informed`` mask (receivers of informed senders become
+informed), so message spread during coloring matches the reference
+semantics exactly.
+"""
+
+from repro.fastsim.coloring import FastColoringResult, fast_coloring
+from repro.fastsim.broadcast import (
+    fast_spont_broadcast,
+    fast_nospont_broadcast,
+    fast_decay_broadcast,
+    fast_uniform_broadcast,
+    fast_local_broadcast_global,
+)
+
+__all__ = [
+    "FastColoringResult",
+    "fast_coloring",
+    "fast_spont_broadcast",
+    "fast_nospont_broadcast",
+    "fast_decay_broadcast",
+    "fast_uniform_broadcast",
+    "fast_local_broadcast_global",
+]

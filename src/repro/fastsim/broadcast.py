@@ -1,0 +1,327 @@
+"""Vectorized broadcast protocols and baselines.
+
+Mirrors :mod:`repro.core.broadcast_spont`,
+:mod:`repro.core.broadcast_nospont` and :mod:`repro.baselines` on flat
+arrays.  All functions return :class:`~repro.core.outcome.BroadcastOutcome`
+so the experiment harness treats reference and fast runs uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.constants import ColoringSchedule, ProtocolConstants, log2ceil
+from repro.core.outcome import NEVER_INFORMED, BroadcastOutcome
+from repro.errors import ProtocolError
+from repro.fastsim.coloring import fast_coloring
+from repro.network.network import Network
+from repro.sinr.reception import NO_SENDER, resolve_reception
+
+
+def _check_source(network: Network, source: int) -> None:
+    if not 0 <= source < network.size:
+        raise ProtocolError(f"source {source} outside station range")
+
+
+def _dissemination_loop(
+    network: Network,
+    rng: np.random.Generator,
+    informed: np.ndarray,
+    informed_round: np.ndarray,
+    prob_of_round: Callable[[int, np.ndarray], np.ndarray],
+    start_round: int,
+    budget: int,
+) -> int:
+    """Run flooding rounds until everyone informed or budget exhausted.
+
+    :param prob_of_round: maps ``(round_no, informed_mask)`` to the
+        per-station transmission probability array.
+    :returns: the first unused round number.
+    """
+    gains = network.gains
+    noise = network.params.noise
+    beta = network.params.beta
+    n = network.size
+    round_no = start_round
+    end = start_round + budget
+    remaining = n - int(informed.sum())
+    while remaining > 0 and round_no < end:
+        probs = prob_of_round(round_no, informed)
+        tx_mask = rng.random(n) < probs
+        transmitters = np.flatnonzero(tx_mask)
+        if transmitters.size:
+            heard_from = resolve_reception(gains, transmitters, noise, beta)
+            newly = (heard_from != NO_SENDER) & ~informed
+            if newly.any():
+                informed[newly] = True
+                informed_round[newly] = round_no
+                remaining -= int(newly.sum())
+        round_no += 1
+    return round_no
+
+
+def _outcome(
+    algorithm: str,
+    informed_round: np.ndarray,
+    total_rounds: int,
+    extras: Optional[dict] = None,
+) -> BroadcastOutcome:
+    success = bool(np.all(informed_round != NEVER_INFORMED))
+    completion = int(informed_round.max()) if success else NEVER_INFORMED
+    return BroadcastOutcome(
+        success=success,
+        completion_round=completion,
+        total_rounds=total_rounds,
+        informed_round=informed_round.copy(),
+        algorithm=algorithm,
+        extras=extras or {},
+    )
+
+
+# ----------------------------------------------------------------------
+# the paper's algorithms
+# ----------------------------------------------------------------------
+def fast_spont_broadcast(
+    network: Network,
+    source: int,
+    constants: Optional[ProtocolConstants] = None,
+    rng: Optional[np.random.Generator] = None,
+    *,
+    round_budget: Optional[int] = None,
+    budget_scale: int = 16,
+    tighten_eps: bool = True,
+) -> BroadcastOutcome:
+    """Vectorized ``SBroadcast`` (Theorem 2)."""
+    if constants is None:
+        constants = ProtocolConstants.practical()
+    if tighten_eps:
+        constants = constants.with_eps_prime()
+    if rng is None:
+        rng = np.random.default_rng(0)
+    _check_source(network, source)
+    n = network.size
+    informed = np.zeros(n, dtype=bool)
+    informed[source] = True
+    informed_round = np.full(n, NEVER_INFORMED, dtype=int)
+    informed_round[source] = 0
+
+    coloring = fast_coloring(
+        network, constants, rng,
+        informed=informed, informed_round=informed_round,
+    )
+    colors = np.where(np.isnan(coloring.colors), 0.0, coloring.colors)
+    logn = log2ceil(n)
+    diss_probs = np.minimum(1.0, colors * constants.dissemination / logn)
+
+    # Pilot round: the source transmits alone.
+    gains = network.gains
+    heard_from = resolve_reception(
+        gains, np.array([source]), network.params.noise, network.params.beta
+    )
+    pilot_round = coloring.rounds
+    newly = (heard_from != NO_SENDER) & ~informed
+    informed[newly] = True
+    informed_round[newly] = pilot_round
+
+    if round_budget is None:
+        depth = network.eccentricity(source) if n > 1 else 0
+        round_budget = budget_scale * (depth * logn + logn * logn)
+
+    def probs(_round_no: int, inf: np.ndarray) -> np.ndarray:
+        return np.where(inf, diss_probs, 0.0)
+
+    last = _dissemination_loop(
+        network, rng, informed, informed_round, probs,
+        pilot_round + 1, round_budget,
+    )
+    return _outcome(
+        "SBroadcast(fast)", informed_round, last,
+        {"coloring_rounds": coloring.rounds, "colors": colors},
+    )
+
+
+def fast_nospont_broadcast(
+    network: Network,
+    source: int,
+    constants: Optional[ProtocolConstants] = None,
+    rng: Optional[np.random.Generator] = None,
+    *,
+    max_phases: Optional[int] = None,
+    budget_slack: int = 8,
+) -> BroadcastOutcome:
+    """Vectorized ``NoSBroadcast`` (Theorem 1).
+
+    Phases run until every station is informed or ``max_phases`` elapse
+    (default ``2 * ecc + slack``, matching the reference driver's budget).
+    """
+    if constants is None:
+        constants = ProtocolConstants.practical()
+    if rng is None:
+        rng = np.random.default_rng(0)
+    _check_source(network, source)
+    n = network.size
+    schedule = ColoringSchedule(constants=constants, n=n)
+    logn = log2ceil(n)
+    part2 = constants.part2_rounds(n)
+
+    informed = np.zeros(n, dtype=bool)
+    informed[source] = True
+    informed_round = np.full(n, NEVER_INFORMED, dtype=int)
+    informed_round[source] = 0
+
+    if max_phases is None:
+        depth = network.eccentricity(source) if n > 1 else 0
+        max_phases = 2 * depth + budget_slack
+
+    round_no = 0
+    phases_used = 0
+    for _phase in range(max_phases):
+        if informed.all():
+            break
+        phases_used += 1
+        active = informed.copy()  # fixed at the phase boundary
+        coloring = fast_coloring(
+            network, constants, rng,
+            participants=active,
+            informed=informed, informed_round=informed_round,
+            round_offset=round_no,
+        )
+        round_no += coloring.rounds
+        colors = np.where(np.isnan(coloring.colors), 0.0, coloring.colors)
+        diss = np.minimum(1.0, colors * constants.dissemination / logn)
+        diss = np.where(active, diss, 0.0)
+
+        def probs(_round_no: int, _inf: np.ndarray) -> np.ndarray:
+            # Only the stations active at the phase start disseminate.
+            return diss
+
+        round_no = _dissemination_loop(
+            network, rng, informed, informed_round, probs, round_no, part2
+        )
+    return _outcome(
+        "NoSBroadcast(fast)", informed_round, round_no,
+        {
+            "phase_rounds": constants.phase_rounds(n),
+            "phases_used": phases_used,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# baselines
+# ----------------------------------------------------------------------
+def fast_uniform_broadcast(
+    network: Network,
+    source: int,
+    q: Optional[float] = None,
+    rng: Optional[np.random.Generator] = None,
+    *,
+    round_budget: Optional[int] = None,
+    budget_scale: int = 64,
+) -> BroadcastOutcome:
+    """Vectorized fixed-probability flooding (baseline)."""
+    if rng is None:
+        rng = np.random.default_rng(0)
+    _check_source(network, source)
+    n = network.size
+    if q is None:
+        q = 1.0 / max(1, network.max_degree)
+    if not 0 < q <= 1:
+        raise ProtocolError(f"q must be in (0, 1], got {q}")
+    informed = np.zeros(n, dtype=bool)
+    informed[source] = True
+    informed_round = np.full(n, NEVER_INFORMED, dtype=int)
+    informed_round[source] = 0
+    if round_budget is None:
+        depth = network.eccentricity(source) if n > 1 else 0
+        round_budget = max(
+            64, budget_scale * (depth + 1) * max(1, int(1.0 / q))
+        )
+
+    def probs(_round_no: int, inf: np.ndarray) -> np.ndarray:
+        return np.where(inf, q, 0.0)
+
+    last = _dissemination_loop(
+        network, rng, informed, informed_round, probs, 0, round_budget
+    )
+    return _outcome("UniformFlood(fast)", informed_round, last, {"q": q})
+
+
+def fast_decay_broadcast(
+    network: Network,
+    source: int,
+    rng: Optional[np.random.Generator] = None,
+    *,
+    ladder_len: Optional[int] = None,
+    round_budget: Optional[int] = None,
+    budget_scale: int = 96,
+) -> BroadcastOutcome:
+    """Vectorized Decay sweep (the granularity-sensitive baseline)."""
+    if rng is None:
+        rng = np.random.default_rng(0)
+    _check_source(network, source)
+    n = network.size
+    if ladder_len is None:
+        ladder_len = log2ceil(n) + 1
+    if ladder_len < 1:
+        raise ProtocolError(f"ladder length must be >= 1, got {ladder_len}")
+    informed = np.zeros(n, dtype=bool)
+    informed[source] = True
+    informed_round = np.full(n, NEVER_INFORMED, dtype=int)
+    informed_round[source] = 0
+    if round_budget is None:
+        depth = network.eccentricity(source) if n > 1 else 0
+        round_budget = max(
+            8 * ladder_len, budget_scale * (depth + 1) * ladder_len
+        )
+
+    def probs(round_no: int, inf: np.ndarray) -> np.ndarray:
+        rung = round_no % ladder_len
+        return np.where(inf, 2.0 ** (-rung), 0.0)
+
+    last = _dissemination_loop(
+        network, rng, informed, informed_round, probs, 0, round_budget
+    )
+    return _outcome(
+        "DecaySweep(fast)", informed_round, last, {"ladder_len": ladder_len}
+    )
+
+
+def fast_local_broadcast_global(
+    network: Network,
+    source: int,
+    rng: Optional[np.random.Generator] = None,
+    *,
+    round_budget: Optional[int] = None,
+    budget_slack: int = 8,
+    phase_scale: float = 2.0,
+) -> BroadcastOutcome:
+    """Vectorized local-broadcast composition (``Delta``-paying baseline)."""
+    if rng is None:
+        rng = np.random.default_rng(0)
+    _check_source(network, source)
+    n = network.size
+    delta = max(1, network.max_degree)
+    q = 1.0 / (2.0 * delta)
+    logn = log2ceil(n)
+    phase_len = max(1, int(phase_scale * (delta + logn) * logn))
+    informed = np.zeros(n, dtype=bool)
+    informed[source] = True
+    informed_round = np.full(n, NEVER_INFORMED, dtype=int)
+    informed_round[source] = 0
+    if round_budget is None:
+        depth = network.eccentricity(source) if n > 1 else 0
+        round_budget = (2 * depth + budget_slack) * phase_len
+
+    def probs(_round_no: int, inf: np.ndarray) -> np.ndarray:
+        return np.where(inf, q, 0.0)
+
+    last = _dissemination_loop(
+        network, rng, informed, informed_round, probs, 0, round_budget
+    )
+    return _outcome(
+        "LocalBroadcastGlobal(fast)", informed_round, last,
+        {"max_degree": delta, "phase_length": phase_len},
+    )

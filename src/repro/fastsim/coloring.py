@@ -1,0 +1,148 @@
+"""Vectorized ``StabilizeProbability``.
+
+Same semantics as :mod:`repro.core.coloring` — the schedule, the two
+tests, the success-counting rules and the quit logic are driven by the
+shared :class:`~repro.core.constants.ColoringSchedule` — but all stations
+advance in numpy arrays and each round costs one reception resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.coloring import FINAL_COLOR_LEVEL, NOT_PARTICIPATING
+from repro.core.constants import ColoringSchedule, ProtocolConstants
+from repro.errors import ProtocolError
+from repro.network.network import Network
+from repro.sinr.reception import NO_SENDER, resolve_reception
+
+
+@dataclass
+class FastColoringResult:
+    """Vectorized coloring outcome (mirrors ``ColoringResult``)."""
+
+    colors: np.ndarray
+    quit_levels: np.ndarray
+    rounds: int
+    schedule: ColoringSchedule
+
+    @property
+    def participants(self) -> np.ndarray:
+        return self.quit_levels != NOT_PARTICIPATING
+
+    def distinct_colors(self) -> list[float]:
+        values = self.colors[self.participants]
+        return sorted(set(float(v) for v in values))
+
+    def color_mask(self, color: float) -> np.ndarray:
+        return self.participants & np.isclose(self.colors, color)
+
+
+def fast_coloring(
+    network: Network,
+    constants: ProtocolConstants,
+    rng: np.random.Generator,
+    participants: Optional[np.ndarray] = None,
+    informed: Optional[np.ndarray] = None,
+    informed_round: Optional[np.ndarray] = None,
+    round_offset: int = 0,
+) -> FastColoringResult:
+    """Run one ``StabilizeProbability`` execution, vectorized.
+
+    :param participants: boolean mask of stations taking part (default
+        all).  Non-participants are silent but still receive.
+    :param informed: optional boolean mask updated **in place**: a station
+        that hears a participant who is informed becomes informed (models
+        the broadcast payload riding on coloring transmissions).
+    :param informed_round: optional int array updated in place with the
+        (global) round at which stations became informed; used together
+        with ``informed``.
+    :param round_offset: global round number of the execution's first
+        round (for ``informed_round`` bookkeeping).
+    """
+    n = network.size
+    schedule = ColoringSchedule(constants=constants, n=n)
+    if participants is None:
+        participants = np.ones(n, dtype=bool)
+    else:
+        participants = np.asarray(participants, dtype=bool)
+        if participants.shape != (n,):
+            raise ProtocolError(
+                f"participants mask must have shape ({n},)"
+            )
+    if not participants.any():
+        raise ProtocolError("coloring needs at least one participant")
+    track_informed = informed is not None
+    if track_informed and informed_round is None:
+        raise ProtocolError(
+            "informed_round must accompany informed for bookkeeping"
+        )
+
+    gains = network.gains
+    noise = network.params.noise
+    beta = network.params.beta
+    counts_self = constants.playoff_counts_self
+
+    in_ladder = participants.copy()
+    colors = np.full(n, np.nan)
+    quit_levels = np.full(n, NOT_PARTICIPATING, dtype=int)
+    quit_levels[participants] = FINAL_COLOR_LEVEL
+
+    dthresh = constants.density_threshold(n)
+    pthresh = constants.playoff_threshold(n)
+    global_round = round_offset
+
+    def run_test(prob: float, length: int, count_tx: bool) -> np.ndarray:
+        """Run one test; returns per-station success counts."""
+        nonlocal global_round
+        successes = np.zeros(n, dtype=int)
+        for _ in range(length):
+            draws = rng.random(n)
+            tx_mask = in_ladder & (draws < prob)
+            transmitters = np.flatnonzero(tx_mask)
+            heard_from = resolve_reception(gains, transmitters, noise, beta)
+            heard = heard_from != NO_SENDER
+            if count_tx:
+                successes += (heard | tx_mask)
+            else:
+                successes += heard
+            if track_informed and transmitters.size:
+                senders_informed = np.zeros(n, dtype=bool)
+                valid = heard
+                senders_informed[valid] = informed[heard_from[valid]]
+                newly = senders_informed & ~informed
+                if newly.any():
+                    informed[newly] = True
+                    informed_round[newly] = global_round
+            global_round += 1
+        return successes
+
+    for level in range(schedule.levels):
+        p_v = schedule.level_probability(level)
+        p_playoff = min(1.0, p_v * constants.ceps)
+        for _rep in range(constants.repeats):
+            if not in_ladder.any():
+                # Everyone quit: rounds still elapse (fixed schedule).
+                global_round += schedule.block_len
+                continue
+            dens = run_test(p_v, schedule.density_len, count_tx=True)
+            play = run_test(
+                p_playoff, schedule.playoff_len, count_tx=counts_self
+            )
+            passed = in_ladder & (dens >= dthresh) & (play >= pthresh)
+            if passed.any():
+                colors[passed] = p_v
+                quit_levels[passed] = level
+                in_ladder &= ~passed
+
+    colors[in_ladder] = constants.survivor_color
+    colors[~participants] = np.nan
+    return FastColoringResult(
+        colors=colors,
+        quit_levels=quit_levels,
+        rounds=schedule.total_rounds,
+        schedule=schedule,
+    )

@@ -1,0 +1,185 @@
+"""Metrics over finite station sets.
+
+The simulator only ever needs distances between the *n* deployed stations,
+so a metric here is an object that turns an ``(n, d)`` coordinate array into
+an ``(n, n)`` distance matrix.  Two concrete metrics are provided:
+
+* :class:`EuclideanMetric` — the usual ``R^d`` metric the paper's examples
+  live in (the plane has growth dimension ``gamma = 2``).
+* :class:`MatrixMetric` — an explicit, pre-validated distance matrix, which
+  lets tests and experiments exercise non-Euclidean bounded-growth metrics
+  (e.g. shortest-path metrics of bounded-degree graphs).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import GeometryError, MetricError
+
+#: Distances below this floor are clamped when computing path gain; two
+#: stations closer than this are considered co-located and rejected by
+#: deployment validation instead.
+MIN_DISTANCE = 1e-12
+
+
+def pairwise_distances(coords: np.ndarray) -> np.ndarray:
+    """Return the Euclidean distance matrix of an ``(n, d)`` array.
+
+    Uses the stable two-loop-free formulation ``|x - y|`` via broadcasting,
+    which for the problem sizes in this package (n up to a few thousand) is
+    both exact and fast.
+
+    :param coords: ``(n, d)`` float array of station coordinates.
+    :returns: ``(n, n)`` symmetric matrix with zero diagonal.
+    """
+    coords = np.asarray(coords, dtype=float)
+    if coords.ndim == 1:
+        coords = coords[:, None]
+    if coords.ndim != 2:
+        raise GeometryError(
+            f"coordinates must be a (n, d) array, got shape {coords.shape}"
+        )
+    diff = coords[:, None, :] - coords[None, :, :]
+    dist = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+    # Guard against tiny negative rounding under sqrt producing nan.
+    np.fill_diagonal(dist, 0.0)
+    return dist
+
+
+def validate_distance_matrix(
+    matrix: np.ndarray,
+    *,
+    check_triangle: bool = True,
+    atol: float = 1e-9,
+) -> np.ndarray:
+    """Validate that ``matrix`` satisfies the metric axioms.
+
+    :param matrix: candidate ``(n, n)`` distance matrix.
+    :param check_triangle: verify the triangle inequality (O(n^3); skip for
+        very large matrices if the source is already trusted).
+    :param atol: numerical tolerance for symmetry / triangle checks.
+    :returns: the validated matrix as a float array.
+    :raises MetricError: if any axiom fails.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise MetricError(f"distance matrix must be square, got {matrix.shape}")
+    if not np.all(np.isfinite(matrix)):
+        raise MetricError("distance matrix contains non-finite entries")
+    if np.any(np.abs(np.diag(matrix)) > atol):
+        raise MetricError("distance matrix has a non-zero diagonal")
+    if np.any(matrix < -atol):
+        raise MetricError("distance matrix has negative entries")
+    if not np.allclose(matrix, matrix.T, atol=atol):
+        raise MetricError("distance matrix is not symmetric")
+    n = matrix.shape[0]
+    off_diagonal = matrix[~np.eye(n, dtype=bool)]
+    if off_diagonal.size and np.any(off_diagonal < MIN_DISTANCE):
+        raise MetricError(
+            "distinct stations are co-located (distance below "
+            f"{MIN_DISTANCE}); the SINR model requires distinct positions"
+        )
+    if check_triangle and n <= 2048:
+        # d(i, k) <= d(i, j) + d(j, k) for all triples, vectorized per j.
+        for j in range(n):
+            slack = matrix[:, j][:, None] + matrix[j, :][None, :]
+            if np.any(matrix > slack + atol):
+                raise MetricError(
+                    f"triangle inequality violated through point {j}"
+                )
+    return matrix
+
+
+class Metric(ABC):
+    """A metric over a finite set of deployed stations."""
+
+    #: Growth dimension ``gamma`` of the metric (Sect. 1.1): every ball of
+    #: radius ``c * d`` is covered by ``O(c^gamma)`` balls of radius ``d``.
+    growth_dimension: float
+
+    @abstractmethod
+    def distance_matrix(self, coords: np.ndarray) -> np.ndarray:
+        """Return the ``(n, n)`` distance matrix of the deployment."""
+
+    def distance(self, coords: np.ndarray, i: int, j: int) -> float:
+        """Distance between stations ``i`` and ``j`` (convenience)."""
+        return float(self.distance_matrix(coords)[i, j])
+
+
+class EuclideanMetric(Metric):
+    """The Euclidean metric on ``R^d``.
+
+    The growth dimension of ``R^d`` equals ``d``: a ball of radius ``c*r``
+    can be covered by ``O(c^d)`` balls of radius ``r``.
+    """
+
+    def __init__(self, dimension: int = 2):
+        if dimension < 1:
+            raise GeometryError(f"dimension must be >= 1, got {dimension}")
+        self.dimension = int(dimension)
+        self.growth_dimension = float(dimension)
+
+    def distance_matrix(self, coords: np.ndarray) -> np.ndarray:
+        coords = np.asarray(coords, dtype=float)
+        if coords.ndim == 1:
+            coords = coords[:, None]
+        if coords.shape[1] != self.dimension:
+            raise GeometryError(
+                f"expected {self.dimension}-dimensional coordinates, "
+                f"got shape {coords.shape}"
+            )
+        return pairwise_distances(coords)
+
+    def __repr__(self) -> str:
+        return f"EuclideanMetric(dimension={self.dimension})"
+
+
+class MatrixMetric(Metric):
+    """A metric given by an explicit distance matrix.
+
+    Coordinates are ignored (stations are identified with matrix indices),
+    which lets deployments express arbitrary bounded-growth metrics — the
+    paper's model is *not* restricted to Euclidean space.
+
+    :param matrix: ``(n, n)`` distance matrix; validated on construction.
+    :param growth_dimension: the claimed growth dimension ``gamma``; use
+        :func:`repro.geometry.growth.growth_dimension_estimate` to check it.
+    :param check_triangle: whether to verify the triangle inequality.
+    """
+
+    def __init__(
+        self,
+        matrix: np.ndarray,
+        growth_dimension: float = 2.0,
+        *,
+        check_triangle: bool = True,
+    ):
+        self._matrix = validate_distance_matrix(
+            matrix, check_triangle=check_triangle
+        )
+        if growth_dimension <= 0:
+            raise GeometryError("growth dimension must be positive")
+        self.growth_dimension = float(growth_dimension)
+
+    @property
+    def size(self) -> int:
+        """Number of points the metric is defined on."""
+        return self._matrix.shape[0]
+
+    def distance_matrix(self, coords: np.ndarray) -> np.ndarray:
+        coords = np.asarray(coords)
+        n = coords.shape[0]
+        if n != self.size:
+            raise GeometryError(
+                f"metric defined on {self.size} points, deployment has {n}"
+            )
+        return self._matrix
+
+    def __repr__(self) -> str:
+        return (
+            f"MatrixMetric(size={self.size}, "
+            f"growth_dimension={self.growth_dimension})"
+        )

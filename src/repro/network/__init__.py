@@ -1,0 +1,21 @@
+"""Deployed networks and their communication graphs."""
+
+from repro.network.network import Network
+from repro.network.graph import (
+    bfs_layers,
+    communication_graph,
+    diameter,
+    eccentricity,
+    granularity,
+    max_degree,
+)
+
+__all__ = [
+    "Network",
+    "communication_graph",
+    "diameter",
+    "eccentricity",
+    "bfs_layers",
+    "granularity",
+    "max_degree",
+]

@@ -1,0 +1,189 @@
+"""The :class:`Network` aggregate: stations + metric + SINR parameters.
+
+A ``Network`` owns everything static about a deployment — coordinates, the
+distance matrix, the path-gain matrix, and the communication graph — and
+computes each lazily exactly once.  All simulators (reference and
+vectorized) and all analysis code consume networks through this class.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import DeploymentError
+from repro.geometry.metric import (
+    EuclideanMetric,
+    Metric,
+    MIN_DISTANCE,
+)
+from repro.network import graph as graph_utils
+from repro.sinr.gain import gain_matrix
+from repro.sinr.params import SINRParameters
+
+
+class Network:
+    """An immutable deployed wireless network.
+
+    :param coords: ``(n, d)`` station coordinates (or ``(n,)`` for a line).
+    :param params: SINR model parameters; defaults to the paper's
+        normalization (range 1, ``P = N beta``).
+    :param metric: metric used for distances; defaults to the Euclidean
+        metric of the coordinate dimension.
+    :param name: optional human-readable label used in reports.
+    """
+
+    def __init__(
+        self,
+        coords: np.ndarray,
+        params: Optional[SINRParameters] = None,
+        metric: Optional[Metric] = None,
+        name: str = "network",
+    ):
+        coords = np.asarray(coords, dtype=float)
+        if coords.ndim == 1:
+            coords = coords[:, None]
+        if coords.ndim != 2 or coords.shape[0] == 0:
+            raise DeploymentError(
+                f"coordinates must be a non-empty (n, d) array, "
+                f"got shape {coords.shape}"
+            )
+        self._coords = coords
+        self._coords.setflags(write=False)
+        self.params = params if params is not None else SINRParameters.default()
+        self.metric = metric if metric is not None else EuclideanMetric(
+            coords.shape[1]
+        )
+        self.name = name
+        self._dist: Optional[np.ndarray] = None
+        self._gain: Optional[np.ndarray] = None
+        self._graph: Optional[nx.Graph] = None
+        self._diameter: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of stations ``n``."""
+        return self._coords.shape[0]
+
+    def __len__(self) -> int:
+        return self.size
+
+    @property
+    def coords(self) -> np.ndarray:
+        """Read-only ``(n, d)`` coordinate array."""
+        return self._coords
+
+    @property
+    def distances(self) -> np.ndarray:
+        """Lazily computed ``(n, n)`` distance matrix."""
+        if self._dist is None:
+            dist = self.metric.distance_matrix(self._coords)
+            n = self.size
+            if n > 1:
+                off = dist[~np.eye(n, dtype=bool)]
+                if np.any(off < MIN_DISTANCE):
+                    raise DeploymentError(
+                        "deployment contains co-located stations; the SINR "
+                        "model requires distinct positions"
+                    )
+            dist.setflags(write=False)
+            self._dist = dist
+        return self._dist
+
+    @property
+    def gains(self) -> np.ndarray:
+        """Lazily computed path-gain matrix ``P * d^-alpha``."""
+        if self._gain is None:
+            gain = gain_matrix(
+                self.distances, self.params.power, self.params.alpha
+            )
+            gain.setflags(write=False)
+            self._gain = gain
+        return self._gain
+
+    # ------------------------------------------------------------------
+    # communication graph
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> nx.Graph:
+        """The communication graph (edges at distance ``<= (1-eps) r``)."""
+        if self._graph is None:
+            self._graph = graph_utils.communication_graph(
+                self.distances, self.params.comm_radius
+            )
+        return self._graph
+
+    @property
+    def is_connected(self) -> bool:
+        """Whether the communication graph is connected."""
+        return self.size == 1 or nx.is_connected(self.graph)
+
+    @property
+    def diameter(self) -> int:
+        """Diameter ``D`` of the communication graph (cached)."""
+        if self._diameter is None:
+            self._diameter = graph_utils.diameter(self.graph)
+        return self._diameter
+
+    @property
+    def max_degree(self) -> int:
+        """Maximum degree ``Delta`` of the communication graph."""
+        return graph_utils.max_degree(self.graph)
+
+    @property
+    def granularity(self) -> float:
+        """Granularity ``Rs`` (max/min communication-edge length)."""
+        return graph_utils.granularity(self.distances, self.graph)
+
+    def eccentricity(self, source: int) -> int:
+        """Broadcast depth from ``source``."""
+        return graph_utils.eccentricity(self.graph, source)
+
+    def bfs_layers(self, source: int) -> list[list[int]]:
+        """Stations grouped by hop distance from ``source``."""
+        return graph_utils.bfs_layers(self.graph, source)
+
+    def neighbors(self, v: int) -> list[int]:
+        """Communication-graph neighbours of station ``v``."""
+        return sorted(self.graph.neighbors(v))
+
+    # ------------------------------------------------------------------
+    # derived views
+    # ------------------------------------------------------------------
+    def ball(self, center: int, radius: float) -> np.ndarray:
+        """Indices of stations within ``radius`` of station ``center``."""
+        return np.flatnonzero(self.distances[center] <= radius)
+
+    def with_params(self, params: SINRParameters) -> "Network":
+        """A copy of this network under different SINR parameters.
+
+        Reuses nothing mutable; distance matrix is recomputed lazily (the
+        metric is shared, which is safe because metrics are stateless).
+        """
+        return Network(
+            np.array(self._coords), params=params, metric=self.metric,
+            name=self.name,
+        )
+
+    def describe(self) -> dict:
+        """Summary dict used by experiment reports."""
+        connected = self.is_connected
+        return {
+            "name": self.name,
+            "n": self.size,
+            "connected": connected,
+            "diameter": self.diameter if connected else None,
+            "max_degree": self.max_degree,
+            "granularity": self.granularity,
+            "alpha": self.params.alpha,
+            "beta": self.params.beta,
+            "eps": self.params.eps,
+        }
+
+    def __repr__(self) -> str:
+        return f"Network(name={self.name!r}, n={self.size})"

@@ -1,0 +1,28 @@
+"""Synchronous round-based simulation engine (reference semantics).
+
+The engine drives *probability-declaring* nodes: every protocol in the
+paper reduces, per round, to "transmit a known payload with probability
+``q``", so a node exposes the pair ``(q, payload)`` before each round and
+is told afterwards whether it transmitted and what (if anything) it heard.
+This keeps the reference implementation faithful to the distributed
+algorithms while letting the engine batch all randomness and all SINR
+arithmetic in numpy.
+"""
+
+from repro.sim.messages import Message, Reception
+from repro.sim.node import NodeAlgorithm, SilentNode
+from repro.sim.engine import Simulator, RunResult
+from repro.sim.trace import TraceRecorder, RoundRecord
+from repro.sim.wakeup import WakeupSchedule
+
+__all__ = [
+    "Message",
+    "Reception",
+    "NodeAlgorithm",
+    "SilentNode",
+    "Simulator",
+    "RunResult",
+    "TraceRecorder",
+    "RoundRecord",
+    "WakeupSchedule",
+]

@@ -1,0 +1,40 @@
+"""Message and reception records exchanged through the channel."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Message:
+    """A transmitted frame.
+
+    :param sender: station index of the transmitter.
+    :param payload: protocol-defined content.  The paper allows the
+        broadcast message plus ``O(log n)`` extra bits (round counters,
+        color indices); payloads here are small tuples/dataclasses and the
+        tests assert protocols only attach logarithmic-size metadata.
+    """
+
+    sender: int
+    payload: Any = None
+
+
+@dataclass(frozen=True)
+class Reception:
+    """What a station observed at the end of a round.
+
+    ``message`` is ``None`` when the station heard nothing — the model has
+    no carrier sensing (Sect. 1.1), so "silence" and "collision noise" are
+    indistinguishable and both map to ``message is None``.
+    """
+
+    round_no: int
+    transmitted: bool
+    message: Message | None
+
+    @property
+    def heard(self) -> bool:
+        """Whether a message was successfully decoded this round."""
+        return self.message is not None

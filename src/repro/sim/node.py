@@ -1,0 +1,71 @@
+"""Node-algorithm interface for the reference engine.
+
+Every distributed algorithm in the paper fits the shape: at each round a
+station either listens or transmits (its current message) with some
+probability that depends only on its local state.  A node therefore
+implements two callbacks:
+
+* :meth:`NodeAlgorithm.transmission` — called before the round; returns
+  ``(probability, payload)``.
+* :meth:`NodeAlgorithm.end_round` — called after the round with the
+  station's :class:`~repro.sim.messages.Reception`; this is where state
+  machines advance.
+
+The engine guarantees callbacks are invoked for every station every round,
+in index order, so protocols can rely on the global round counter for
+lockstep phase arithmetic (the paper's round-counter-in-message mechanism
+achieves the same synchronization; see DESIGN.md §4.2).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+from repro.sim.messages import Reception
+
+
+class NodeAlgorithm(ABC):
+    """Base class for per-station protocol implementations.
+
+    :param index: the station's index in the network (its identity).
+    """
+
+    def __init__(self, index: int):
+        self.index = index
+
+    @abstractmethod
+    def transmission(self, round_no: int) -> tuple[float, Any]:
+        """Return ``(probability, payload)`` for this round.
+
+        Probability 0 means listen; probability 1 transmits surely.  The
+        payload is only used if the Bernoulli draw selects transmission.
+        """
+
+    @abstractmethod
+    def end_round(self, reception: Reception) -> None:
+        """Consume the round's outcome and advance local state."""
+
+    @property
+    def finished(self) -> bool:
+        """Whether the node considers its protocol complete.
+
+        Engines may stop early when every node is finished.  Default:
+        never finishes (run until the driver's own stop condition).
+        """
+        return False
+
+
+class SilentNode(NodeAlgorithm):
+    """A node that only listens; useful as a passive observer in tests."""
+
+    def __init__(self, index: int):
+        super().__init__(index)
+        self.heard: list[Reception] = []
+
+    def transmission(self, round_no: int) -> tuple[float, Any]:
+        return 0.0, None
+
+    def end_round(self, reception: Reception) -> None:
+        if reception.heard:
+            self.heard.append(reception)

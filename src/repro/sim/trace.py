@@ -1,0 +1,75 @@
+"""Round-by-round trace recording.
+
+Traces are how experiments look inside a run: how many stations transmit
+per round (congestion), how many successful receptions happen (throughput),
+and which round informed each station (progress curves).  Recording is
+optional and cheap — a trace keeps compact per-round summaries, not copies
+of messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sinr.reception import NO_SENDER
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Summary of a single round."""
+
+    round_no: int
+    num_transmitters: int
+    num_receptions: int
+
+
+class TraceRecorder:
+    """Accumulates :class:`RoundRecord` summaries.
+
+    :param keep_transmitter_sets: additionally keep the transmitter index
+        arrays (memory-heavier; used by a few focused tests).
+    """
+
+    def __init__(self, keep_transmitter_sets: bool = False):
+        self.records: list[RoundRecord] = []
+        self.keep_transmitter_sets = keep_transmitter_sets
+        self.transmitter_sets: list[np.ndarray] = []
+
+    def record(
+        self,
+        round_no: int,
+        transmitters: np.ndarray,
+        heard_from: np.ndarray,
+    ) -> None:
+        """Called by the engine once per round."""
+        self.records.append(
+            RoundRecord(
+                round_no=round_no,
+                num_transmitters=int(transmitters.size),
+                num_receptions=int(np.sum(heard_from != NO_SENDER)),
+            )
+        )
+        if self.keep_transmitter_sets:
+            self.transmitter_sets.append(np.array(transmitters))
+
+    # ------------------------------------------------------------------
+    @property
+    def rounds(self) -> int:
+        """Number of recorded rounds."""
+        return len(self.records)
+
+    def transmissions_per_round(self) -> np.ndarray:
+        """Array of transmitter counts, one entry per round."""
+        return np.array([r.num_transmitters for r in self.records])
+
+    def receptions_per_round(self) -> np.ndarray:
+        """Array of successful-reception counts, one entry per round."""
+        return np.array([r.num_receptions for r in self.records])
+
+    def busiest_round(self) -> RoundRecord | None:
+        """The round with the most simultaneous transmitters."""
+        if not self.records:
+            return None
+        return max(self.records, key=lambda r: r.num_transmitters)

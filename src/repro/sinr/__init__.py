@@ -1,0 +1,26 @@
+"""The SINR physical channel (Eq. (1) of the paper).
+
+This subpackage implements the Signal-to-Interference-and-Noise-Ratio
+reception model with *uniform* transmission power: a station ``u`` receives
+the message of a transmitter ``v`` in a round exactly when
+
+    SINR(v, u, T) = P d(v,u)^-alpha / (N + sum_{w in T, w != v} P d(w,u)^-alpha) >= beta
+
+where ``T`` is the set of stations transmitting in that round.  Everything
+is vectorized over numpy arrays so a round costs ``O(|T| * n)`` flops.
+"""
+
+from repro.sinr.params import SINRParameters, ParameterBounds
+from repro.sinr.gain import gain_matrix, received_power, interference_at
+from repro.sinr.reception import resolve_reception, sinr_values, NO_SENDER
+
+__all__ = [
+    "SINRParameters",
+    "ParameterBounds",
+    "gain_matrix",
+    "received_power",
+    "interference_at",
+    "resolve_reception",
+    "sinr_values",
+    "NO_SENDER",
+]

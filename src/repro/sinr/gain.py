@@ -1,0 +1,70 @@
+"""Path-gain and interference computations.
+
+Under uniform power the received power of transmitter ``v`` at listener
+``u`` is ``g[v, u] = P * dist(v, u)^-alpha``.  The gain matrix is computed
+once per network and reused by every round of every protocol, which is what
+makes the round loop cheap: interference at all stations from a transmitter
+set ``T`` is just ``gain[T].sum(axis=0)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.geometry.metric import MIN_DISTANCE
+
+
+def gain_matrix(dist: np.ndarray, power: float, alpha: float) -> np.ndarray:
+    """Received-power matrix ``g[v, u] = P * dist(v, u)^-alpha``.
+
+    The diagonal is set to zero: a station never contributes interference
+    to itself (it is either the sender or absent from ``T`` at its own
+    location).  Distances are floored at ``MIN_DISTANCE`` defensively;
+    deployments reject genuinely co-located stations.
+
+    :param dist: ``(n, n)`` distance matrix.
+    :param power: uniform transmission power ``P``.
+    :param alpha: path-loss exponent.
+    :returns: ``(n, n)`` float array.
+    """
+    if power <= 0 or alpha <= 0:
+        raise SimulationError("power and alpha must be positive")
+    safe = np.maximum(dist, MIN_DISTANCE)
+    gain = power * safe ** (-alpha)
+    np.fill_diagonal(gain, 0.0)
+    return gain
+
+
+def received_power(
+    gain: np.ndarray, transmitters: np.ndarray
+) -> np.ndarray:
+    """Total received power at every station from a transmitter set.
+
+    :param gain: ``(n, n)`` gain matrix.
+    :param transmitters: integer index array of transmitting stations.
+    :returns: length-``n`` array; entry ``u`` is
+        ``sum_{v in T} gain[v, u]``.
+    """
+    transmitters = np.asarray(transmitters, dtype=np.intp)
+    if transmitters.size == 0:
+        return np.zeros(gain.shape[0])
+    return gain[transmitters].sum(axis=0)
+
+
+def interference_at(
+    gain: np.ndarray,
+    transmitters: np.ndarray,
+    listener: int,
+    sender: int,
+) -> float:
+    """Interference at ``listener`` w.r.t. a designated ``sender``.
+
+    ``sum_{w in T, w != sender} gain[w, listener]`` — the denominator term
+    of Eq. (1) minus noise.
+    """
+    transmitters = np.asarray(transmitters, dtype=np.intp)
+    total = float(gain[transmitters, listener].sum())
+    if sender in set(int(t) for t in transmitters):
+        total -= float(gain[sender, listener])
+    return total

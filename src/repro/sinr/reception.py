@@ -1,0 +1,72 @@
+"""Round-level reception resolution.
+
+Given the set of stations transmitting in a round, decide — for every
+station — whether it receives a message and from whom, per Eq. (1).
+
+With ``beta >= 1`` at most one transmitter can clear the SINR threshold at
+a given listener, and if any does it is the one with the strongest received
+power (larger signal and smaller residual interference).  The resolver
+therefore tests only the strongest transmitter per listener, in one
+vectorized pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Sentinel in the sender array for "heard nothing this round".
+NO_SENDER: int = -1
+
+
+def sinr_values(
+    gain: np.ndarray,
+    transmitters: np.ndarray,
+    noise: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Best-transmitter SINR at every station.
+
+    :param gain: ``(n, n)`` gain matrix.
+    :param transmitters: index array of this round's transmitters.
+    :param noise: ambient noise ``N``.
+    :returns: ``(best_sender, sinr)`` — for each station, the index of the
+        strongest transmitter (``NO_SENDER`` if none transmit) and the SINR
+        of that transmitter at the station (0 where no sender).
+    """
+    n = gain.shape[0]
+    transmitters = np.asarray(transmitters, dtype=np.intp)
+    best_sender = np.full(n, NO_SENDER, dtype=np.intp)
+    sinr = np.zeros(n)
+    if transmitters.size == 0:
+        return best_sender, sinr
+    tx_gain = gain[transmitters]                 # (|T|, n)
+    total = tx_gain.sum(axis=0)                  # (n,)
+    strongest_pos = np.argmax(tx_gain, axis=0)   # (n,) positions into T
+    strongest_gain = tx_gain[strongest_pos, np.arange(n)]
+    interference = total - strongest_gain
+    sinr = strongest_gain / (noise + interference)
+    best_sender = transmitters[strongest_pos]
+    return best_sender, sinr
+
+
+def resolve_reception(
+    gain: np.ndarray,
+    transmitters: np.ndarray,
+    noise: float,
+    beta: float,
+) -> np.ndarray:
+    """Sender heard by each station this round (Eq. (1)).
+
+    A station ``u`` receives from ``v`` iff ``v`` transmits, ``u`` does
+    not, and ``SINR(v, u, T) >= beta``.  Transmitters never receive
+    (half-duplex, Sect. 1.1 "a station can either act as a sender or as a
+    receiver during a round").
+
+    :returns: length-``n`` integer array: the sender index heard by each
+        station, or :data:`NO_SENDER`.
+    """
+    best_sender, sinr = sinr_values(gain, transmitters, noise)
+    heard = np.where(sinr >= beta, best_sender, NO_SENDER)
+    transmitters = np.asarray(transmitters, dtype=np.intp)
+    if transmitters.size:
+        heard[transmitters] = NO_SENDER
+    return heard

@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite.
+
+Expensive artifacts (networks, colorings) are module- or session-scoped;
+randomness always flows through seeded generators so failures reproduce.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.constants import ProtocolConstants
+from repro.deploy import grid, uniform_chain, uniform_square
+from repro.network.network import Network
+from repro.sinr.params import SINRParameters
+
+
+@pytest.fixture
+def rng():
+    """Fresh seeded generator per test."""
+    return np.random.default_rng(42)
+
+
+@pytest.fixture(scope="session")
+def default_params():
+    return SINRParameters.default()
+
+
+@pytest.fixture(scope="session")
+def practical_constants():
+    return ProtocolConstants.practical()
+
+
+@pytest.fixture(scope="session")
+def small_square():
+    """A connected 32-station uniform square (session-scoped, seed 7)."""
+    return uniform_square(n=32, side=2.0, rng=np.random.default_rng(7))
+
+
+@pytest.fixture(scope="session")
+def small_chain():
+    """A 12-station chain with 0.5 gaps."""
+    return uniform_chain(12, gap=0.5)
+
+
+@pytest.fixture(scope="session")
+def small_grid():
+    """A 3x6 grid with 0.5 spacing."""
+    return grid(3, 6, spacing=0.5)
+
+
+@pytest.fixture
+def two_station_network():
+    """Two stations 0.5 apart — the minimal communicating network."""
+    return Network(np.array([[0.0, 0.0], [0.5, 0.0]]))
+
+
+@pytest.fixture
+def three_station_line():
+    """Three stations in a row, 0.6 apart (a 2-hop path graph)."""
+    return Network(np.array([[0.0, 0.0], [0.6, 0.0], [1.2, 0.0]]))

@@ -1,0 +1,210 @@
+"""Tests for the topology generators."""
+
+import numpy as np
+import pytest
+
+from repro.deploy import (
+    cluster_network,
+    clustered_chain,
+    dumbbell,
+    exponential_chain,
+    geometric_chain,
+    grid,
+    grid_chain,
+    jittered_grid,
+    perturb_within_balls,
+    same_graph_family,
+    uniform_chain,
+    uniform_disk,
+    uniform_square,
+)
+from repro.errors import DeploymentError, DisconnectedNetworkError
+
+
+class TestUniform:
+    def test_square_connected(self, rng):
+        net = uniform_square(n=40, side=2.0, rng=rng)
+        assert net.is_connected
+        assert net.size == 40
+
+    def test_square_within_bounds(self, rng):
+        net = uniform_square(n=30, side=3.0, rng=rng)
+        assert np.all(net.coords >= 0.0)
+        assert np.all(net.coords <= 3.0)
+
+    def test_square_reproducible(self):
+        a = uniform_square(n=20, side=2.0, rng=np.random.default_rng(5))
+        b = uniform_square(n=20, side=2.0, rng=np.random.default_rng(5))
+        assert np.allclose(a.coords, b.coords)
+
+    def test_square_disconnected_raises(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(DisconnectedNetworkError):
+            uniform_square(n=5, side=50.0, rng=rng, max_attempts=3)
+
+    def test_square_rejects_bad_args(self, rng):
+        with pytest.raises(DeploymentError):
+            uniform_square(n=0, side=1.0, rng=rng)
+        with pytest.raises(DeploymentError):
+            uniform_square(n=5, side=0.0, rng=rng)
+
+    def test_disk_connected(self, rng):
+        net = uniform_disk(n=40, radius=1.5, rng=rng)
+        assert net.is_connected
+
+    def test_disk_within_radius(self, rng):
+        net = uniform_disk(n=40, radius=1.5, rng=rng)
+        assert np.all(np.linalg.norm(net.coords, axis=1) <= 1.5 + 1e-9)
+
+
+class TestGrid:
+    def test_grid_size(self):
+        net = grid(3, 4, spacing=0.5)
+        assert net.size == 12
+
+    def test_grid_connected(self):
+        net = grid(4, 8, spacing=0.5)
+        assert net.is_connected
+
+    def test_grid_diameter_grows_with_length(self):
+        short = grid_chain(4, width=2, spacing=0.5)
+        long = grid_chain(12, width=2, spacing=0.5)
+        assert long.diameter > short.diameter
+
+    def test_grid_rejects_bad_shape(self):
+        with pytest.raises(DeploymentError):
+            grid(0, 5, spacing=0.5)
+        with pytest.raises(DeploymentError):
+            grid(2, 2, spacing=-1.0)
+
+    def test_jittered_grid_stays_connected(self, rng):
+        net = jittered_grid(3, 6, spacing=0.5, jitter=0.05, rng=rng)
+        assert net.is_connected
+
+    def test_jittered_grid_rejects_excess_jitter(self, rng):
+        with pytest.raises(DeploymentError):
+            jittered_grid(3, 3, spacing=0.5, jitter=0.3, rng=rng)
+
+    def test_jitter_changes_coords(self, rng):
+        base = grid(3, 3, spacing=0.5)
+        jit = jittered_grid(3, 3, spacing=0.5, jitter=0.05, rng=rng)
+        assert not np.allclose(base.coords, jit.coords)
+
+
+class TestChains:
+    def test_uniform_chain_spacing(self):
+        net = uniform_chain(5, gap=0.5)
+        xs = net.coords[:, 0]
+        assert np.allclose(np.diff(xs), 0.5)
+
+    def test_uniform_chain_connected(self):
+        assert uniform_chain(10, gap=0.6).is_connected
+
+    def test_uniform_chain_single(self):
+        assert uniform_chain(1).size == 1
+
+    def test_geometric_chain_gaps_shrink(self):
+        net = geometric_chain(8, ratio=0.5, first_gap=0.5)
+        gaps = np.diff(net.coords[:, 0])
+        assert np.all(np.diff(gaps) < 0)
+
+    def test_geometric_chain_floor(self):
+        net = geometric_chain(64, ratio=0.5, first_gap=0.5, min_gap=1e-6)
+        gaps = np.diff(net.coords[:, 0])
+        assert gaps.min() >= 1e-6 - 1e-15
+
+    def test_geometric_chain_rejects_small_floor(self):
+        with pytest.raises(DeploymentError):
+            geometric_chain(8, min_gap=1e-15)
+
+    def test_exponential_chain_is_footnote_instance(self):
+        net = exponential_chain(6)
+        gaps = np.diff(net.coords[:, 0])
+        assert gaps[0] == pytest.approx(0.5)
+        assert gaps[1] == pytest.approx(0.25)
+        assert gaps[4] == pytest.approx(0.5 ** 5)
+
+    def test_exponential_chain_granularity_explodes(self):
+        net = exponential_chain(24)
+        assert net.granularity > 1e4
+
+    def test_exponential_chain_connected(self):
+        assert exponential_chain(20).is_connected
+
+    def test_clustered_chain_shape(self, rng):
+        net = clustered_chain(4, 5, 0.05, hop=0.55, rng=rng)
+        assert net.size == 20
+        assert net.is_connected
+
+    def test_clustered_chain_rejects_overlap(self, rng):
+        with pytest.raises(DeploymentError):
+            clustered_chain(4, 5, 0.6, hop=0.5, rng=rng)
+
+    def test_chain_rejects_bad_ratio(self):
+        with pytest.raises(DeploymentError):
+            geometric_chain(5, ratio=1.5)
+
+
+class TestClusters:
+    def test_cluster_network_connected(self, rng):
+        net = cluster_network(6, 5, 0.1, 0.5, rng)
+        assert net.is_connected
+        assert net.size == 30
+
+    def test_cluster_network_disconnect_detected(self, rng):
+        with pytest.raises(DisconnectedNetworkError):
+            cluster_network(4, 3, 0.01, 5.0, rng)
+
+    def test_single_cluster(self, rng):
+        net = cluster_network(1, 8, 0.2, 0.5, rng)
+        assert net.is_connected
+
+    def test_dumbbell_structure(self, rng):
+        net = dumbbell(10, 4, rng)
+        assert net.size == 24
+        assert net.is_connected
+
+    def test_dumbbell_has_large_diameter(self, rng):
+        net = dumbbell(10, 8, rng)
+        assert net.diameter >= 8
+
+    def test_dumbbell_rejects_bad_args(self, rng):
+        with pytest.raises(DeploymentError):
+            dumbbell(0, 3, rng)
+
+
+class TestPerturb:
+    def test_preserves_graph(self, small_square, rng):
+        perturbed = perturb_within_balls(small_square, 0.03, rng)
+        orig = set(frozenset(e) for e in small_square.graph.edges)
+        new = set(frozenset(e) for e in perturbed.graph.edges)
+        assert orig == new
+
+    def test_moves_most_stations(self, small_square, rng):
+        perturbed = perturb_within_balls(small_square, 0.02, rng)
+        moved = np.any(perturbed.coords != small_square.coords, axis=1)
+        assert moved.sum() >= small_square.size // 2
+
+    def test_bounded_displacement(self, small_square, rng):
+        scale = 0.05
+        perturbed = perturb_within_balls(small_square, scale, rng)
+        disp = np.linalg.norm(perturbed.coords - small_square.coords, axis=1)
+        assert np.all(disp <= scale + 1e-9)
+
+    def test_zero_scale_identity(self, small_square, rng):
+        perturbed = perturb_within_balls(small_square, 0.0, rng)
+        assert np.allclose(perturbed.coords, small_square.coords)
+
+    def test_negative_scale_rejected(self, small_square, rng):
+        with pytest.raises(DeploymentError):
+            perturb_within_balls(small_square, -0.1, rng)
+
+    def test_same_graph_family_size(self, small_square, rng):
+        family = same_graph_family(small_square, [0.01, 0.03], rng)
+        assert len(family) == 3
+        assert family[0] is small_square
+
+    def test_family_members_share_graph(self, small_square, rng):
+        family = same_graph_family(small_square, [0.02], rng)
+        orig = set(frozenset(e) for e in family[0].graph.edges)
+        assert set(frozenset(e) for e in family[1].graph.edges) == orig

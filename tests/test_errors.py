@@ -1,0 +1,61 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro.errors import (
+    AnalysisError,
+    BudgetExceededError,
+    DeploymentError,
+    DisconnectedNetworkError,
+    GeometryError,
+    MetricError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+)
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [
+        GeometryError,
+        MetricError,
+        DeploymentError,
+        DisconnectedNetworkError,
+        SimulationError,
+        ProtocolError,
+        BudgetExceededError,
+        AnalysisError,
+    ],
+)
+def test_all_errors_derive_from_repro_error(exc):
+    if exc is BudgetExceededError:
+        instance = exc("boom", rounds=5)
+    else:
+        instance = exc("boom")
+    assert isinstance(instance, ReproError)
+
+
+def test_metric_error_is_geometry_error():
+    assert issubclass(MetricError, GeometryError)
+
+
+def test_disconnected_is_deployment_error():
+    assert issubclass(DisconnectedNetworkError, DeploymentError)
+
+
+def test_budget_exceeded_carries_progress():
+    err = BudgetExceededError("out of rounds", rounds=100, progress=0.75)
+    assert err.rounds == 100
+    assert err.progress == 0.75
+    assert "out of rounds" in str(err)
+
+
+def test_budget_exceeded_default_progress():
+    err = BudgetExceededError("x", rounds=1)
+    assert err.progress == 0.0
+
+
+def test_catching_base_catches_all():
+    with pytest.raises(ReproError):
+        raise ProtocolError("caught by base")

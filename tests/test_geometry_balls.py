@@ -1,0 +1,88 @@
+"""Tests for ball/annulus queries and mass sums."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.balls import (
+    annulus_indices,
+    ball_indices,
+    ball_mass,
+    max_ball_mass,
+)
+from repro.geometry.metric import pairwise_distances
+
+LINE = pairwise_distances(np.array([0.0, 1.0, 2.0, 3.0, 4.0]))
+
+
+class TestBallIndices:
+    def test_includes_center(self):
+        assert 2 in ball_indices(LINE, 2, 0.0)
+
+    def test_closed_ball_boundary(self):
+        members = ball_indices(LINE, 0, 1.0)
+        assert list(members) == [0, 1]
+
+    def test_radius_covers_all(self):
+        assert len(ball_indices(LINE, 2, 10.0)) == 5
+
+    def test_negative_radius_raises(self):
+        with pytest.raises(GeometryError):
+            ball_indices(LINE, 0, -0.1)
+
+
+class TestAnnulusIndices:
+    def test_excludes_inner_ball(self):
+        members = annulus_indices(LINE, 0, 1.0, 3.0)
+        assert list(members) == [2, 3]
+
+    def test_open_inner_boundary(self):
+        # inner radius itself excluded: dist exactly 1 not in (1, 2]
+        members = annulus_indices(LINE, 0, 1.0, 2.0)
+        assert list(members) == [2]
+
+    def test_empty_annulus(self):
+        assert annulus_indices(LINE, 0, 4.0, 5.0).size == 0
+
+    def test_bad_radii_raise(self):
+        with pytest.raises(GeometryError):
+            annulus_indices(LINE, 0, 2.0, 1.0)
+        with pytest.raises(GeometryError):
+            annulus_indices(LINE, 0, -1.0, 1.0)
+
+
+class TestBallMass:
+    def test_sums_weights(self):
+        w = np.array([1.0, 2.0, 4.0, 8.0, 16.0])
+        assert ball_mass(LINE, 0, 1.0, w) == pytest.approx(3.0)
+
+    def test_mask_filters(self):
+        w = np.ones(5)
+        mask = np.array([True, False, True, False, True])
+        assert ball_mass(LINE, 2, 1.0, w, mask) == pytest.approx(1.0)
+
+    def test_full_mask_equals_unmasked(self):
+        w = np.arange(5, dtype=float)
+        mask = np.ones(5, dtype=bool)
+        assert ball_mass(LINE, 1, 2.0, w, mask) == ball_mass(LINE, 1, 2.0, w)
+
+
+class TestMaxBallMass:
+    def test_uniform_weights(self):
+        w = np.ones(5)
+        # Radius 1 balls hold at most 3 stations (interior points).
+        assert max_ball_mass(LINE, 1.0, w) == pytest.approx(3.0)
+
+    def test_concentrated_weight(self):
+        w = np.array([0.0, 0.0, 100.0, 0.0, 0.0])
+        assert max_ball_mass(LINE, 0.5, w) == pytest.approx(100.0)
+
+    def test_empty_matrix(self):
+        empty = np.zeros((0, 0))
+        assert max_ball_mass(empty, 1.0, np.zeros(0)) == 0.0
+
+    def test_monotone_in_radius(self):
+        w = np.random.default_rng(0).uniform(size=5)
+        small = max_ball_mass(LINE, 0.5, w)
+        large = max_ball_mass(LINE, 2.5, w)
+        assert large >= small

@@ -1,0 +1,112 @@
+"""Tests for covering numbers and growth-dimension estimation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.growth import (
+    covering_number,
+    euclidean_covering_bound,
+    greedy_cover,
+    growth_dimension_estimate,
+)
+from repro.geometry.metric import pairwise_distances
+
+
+def _grid_points(side):
+    ys, xs = np.mgrid[0:side, 0:side]
+    return np.column_stack([xs.ravel(), ys.ravel()]).astype(float)
+
+
+class TestGreedyCover:
+    def test_single_point(self):
+        d = pairwise_distances(np.array([[0.0, 0.0]]))
+        assert greedy_cover(d, 1.0) == [0]
+
+    def test_everything_within_radius_needs_one_center(self):
+        d = pairwise_distances(np.array([[0.0, 0.0], [0.1, 0.0], [0.0, 0.1]]))
+        assert len(greedy_cover(d, 1.0)) == 1
+
+    def test_far_points_need_own_centers(self):
+        d = pairwise_distances(np.array([[0.0, 0.0], [10.0, 0.0]]))
+        assert len(greedy_cover(d, 1.0)) == 2
+
+    def test_cover_is_actually_covering(self):
+        pts = np.random.default_rng(0).uniform(0, 5, size=(40, 2))
+        d = pairwise_distances(pts)
+        centers = greedy_cover(d, 1.0)
+        assert np.all(d[:, centers].min(axis=1) <= 1.0)
+
+    def test_deterministic(self):
+        pts = np.random.default_rng(1).uniform(0, 5, size=(30, 2))
+        d = pairwise_distances(pts)
+        assert greedy_cover(d, 0.8) == greedy_cover(d, 0.8)
+
+    def test_rejects_nonpositive_radius(self):
+        d = pairwise_distances(np.array([[0.0, 0.0]]))
+        with pytest.raises(GeometryError):
+            greedy_cover(d, 0.0)
+
+    def test_smaller_radius_needs_more_centers(self):
+        pts = _grid_points(6)
+        d = pairwise_distances(pts)
+        assert len(greedy_cover(d, 0.5)) >= len(greedy_cover(d, 2.0))
+
+
+class TestCoveringNumber:
+    def test_empty_ball(self):
+        pts = np.array([[0.0, 0.0], [10.0, 0.0]])
+        d = pairwise_distances(pts)
+        # Ball of radius 1 around point 0 contains only point 0.
+        assert covering_number(d, 0, 1.0, 0.5) == 1
+
+    def test_grid_ball_covering_grows_with_ball(self):
+        d = pairwise_distances(_grid_points(9))
+        center = 40  # middle of the grid
+        small = covering_number(d, center, 1.0, 0.5)
+        large = covering_number(d, center, 4.0, 0.5)
+        assert large > small
+
+    def test_cover_radius_at_least_ball_needs_one(self):
+        d = pairwise_distances(_grid_points(5))
+        assert covering_number(d, 12, 2.0, 10.0) == 1
+
+
+class TestGrowthDimensionEstimate:
+    def test_plane_estimates_near_two(self):
+        pts = np.random.default_rng(5).uniform(0, 12, size=(600, 2))
+        d = pairwise_distances(pts)
+        est = growth_dimension_estimate(d, base_radius=0.5)
+        assert 1.2 <= est <= 2.8
+
+    def test_line_estimates_near_one(self):
+        pts = np.linspace(0, 50, 400)
+        d = pairwise_distances(pts)
+        est = growth_dimension_estimate(d, base_radius=0.5)
+        assert 0.5 <= est <= 1.6
+
+    def test_degenerate_single_point(self):
+        d = pairwise_distances(np.array([[0.0, 0.0]]))
+        assert growth_dimension_estimate(d) == 0.0
+
+    def test_reproducible_with_default_rng(self):
+        pts = np.random.default_rng(6).uniform(0, 8, size=(200, 2))
+        d = pairwise_distances(pts)
+        assert growth_dimension_estimate(d) == growth_dimension_estimate(d)
+
+
+class TestEuclideanCoveringBound:
+    def test_unit_scale(self):
+        assert euclidean_covering_bound(1.0, 2.0) == 1
+
+    def test_plane_scaling(self):
+        assert euclidean_covering_bound(3.0, 2.0) == 9
+
+    def test_ceil_applied_to_scale(self):
+        assert euclidean_covering_bound(2.5, 2.0) == 9
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(GeometryError):
+            euclidean_covering_bound(0.0, 2.0)
+        with pytest.raises(GeometryError):
+            euclidean_covering_bound(1.0, -1.0)

@@ -1,0 +1,176 @@
+"""Tests for repro.geometry.metric."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError, MetricError
+from repro.geometry.metric import (
+    EuclideanMetric,
+    MatrixMetric,
+    MIN_DISTANCE,
+    pairwise_distances,
+    validate_distance_matrix,
+)
+
+
+class TestPairwiseDistances:
+    def test_two_points(self):
+        d = pairwise_distances(np.array([[0.0, 0.0], [3.0, 4.0]]))
+        assert d[0, 1] == pytest.approx(5.0)
+        assert d[1, 0] == pytest.approx(5.0)
+
+    def test_zero_diagonal(self):
+        coords = np.random.default_rng(0).uniform(size=(10, 2))
+        d = pairwise_distances(coords)
+        assert np.all(np.diag(d) == 0)
+
+    def test_symmetry(self):
+        coords = np.random.default_rng(1).uniform(size=(15, 3))
+        d = pairwise_distances(coords)
+        assert np.allclose(d, d.T)
+
+    def test_one_dimensional_input_promoted(self):
+        d = pairwise_distances(np.array([0.0, 1.0, 3.0]))
+        assert d.shape == (3, 3)
+        assert d[0, 2] == pytest.approx(3.0)
+
+    def test_single_point(self):
+        d = pairwise_distances(np.array([[1.0, 2.0]]))
+        assert d.shape == (1, 1)
+        assert d[0, 0] == 0.0
+
+    def test_triangle_inequality_random(self):
+        coords = np.random.default_rng(2).uniform(size=(20, 2))
+        d = pairwise_distances(coords)
+        for j in range(20):
+            assert np.all(d <= d[:, j][:, None] + d[j, :][None, :] + 1e-9)
+
+    def test_rejects_3d_array(self):
+        with pytest.raises(GeometryError):
+            pairwise_distances(np.zeros((2, 2, 2)))
+
+
+class TestValidateDistanceMatrix:
+    def _valid(self):
+        return pairwise_distances(
+            np.random.default_rng(3).uniform(size=(8, 2))
+        )
+
+    def test_accepts_valid(self):
+        m = self._valid()
+        out = validate_distance_matrix(m)
+        assert np.allclose(out, m)
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(MetricError):
+            validate_distance_matrix(np.zeros((3, 4)))
+
+    def test_rejects_nonzero_diagonal(self):
+        m = self._valid()
+        m[2, 2] = 0.5
+        with pytest.raises(MetricError):
+            validate_distance_matrix(m)
+
+    def test_rejects_negative(self):
+        m = self._valid()
+        m[0, 1] = m[1, 0] = -1.0
+        with pytest.raises(MetricError):
+            validate_distance_matrix(m)
+
+    def test_rejects_asymmetry(self):
+        m = self._valid()
+        m[0, 1] += 0.5
+        with pytest.raises(MetricError):
+            validate_distance_matrix(m)
+
+    def test_rejects_nan(self):
+        m = self._valid()
+        m[0, 1] = m[1, 0] = np.nan
+        with pytest.raises(MetricError):
+            validate_distance_matrix(m)
+
+    def test_rejects_triangle_violation(self):
+        m = np.array(
+            [[0.0, 1.0, 5.0], [1.0, 0.0, 1.0], [5.0, 1.0, 0.0]]
+        )
+        with pytest.raises(MetricError, match="triangle"):
+            validate_distance_matrix(m)
+
+    def test_triangle_check_can_be_skipped(self):
+        m = np.array(
+            [[0.0, 1.0, 5.0], [1.0, 0.0, 1.0], [5.0, 1.0, 0.0]]
+        )
+        out = validate_distance_matrix(m, check_triangle=False)
+        assert out[0, 2] == 5.0
+
+    def test_rejects_colocated_points(self):
+        m = np.array([[0.0, MIN_DISTANCE / 2], [MIN_DISTANCE / 2, 0.0]])
+        with pytest.raises(MetricError, match="co-located"):
+            validate_distance_matrix(m)
+
+
+class TestEuclideanMetric:
+    def test_default_dimension(self):
+        assert EuclideanMetric().dimension == 2
+
+    def test_growth_dimension_equals_dimension(self):
+        assert EuclideanMetric(3).growth_dimension == 3.0
+
+    def test_rejects_bad_dimension(self):
+        with pytest.raises(GeometryError):
+            EuclideanMetric(0)
+
+    def test_distance_matrix(self):
+        metric = EuclideanMetric(2)
+        coords = np.array([[0.0, 0.0], [1.0, 0.0]])
+        d = metric.distance_matrix(coords)
+        assert d[0, 1] == pytest.approx(1.0)
+
+    def test_distance_convenience(self):
+        metric = EuclideanMetric(2)
+        coords = np.array([[0.0, 0.0], [0.0, 2.0]])
+        assert metric.distance(coords, 0, 1) == pytest.approx(2.0)
+
+    def test_dimension_mismatch_raises(self):
+        metric = EuclideanMetric(3)
+        with pytest.raises(GeometryError):
+            metric.distance_matrix(np.zeros((4, 2)))
+
+    def test_1d_metric_accepts_flat_coords(self):
+        metric = EuclideanMetric(1)
+        d = metric.distance_matrix(np.array([0.0, 2.5]))
+        assert d[0, 1] == pytest.approx(2.5)
+
+    def test_repr(self):
+        assert "dimension=2" in repr(EuclideanMetric(2))
+
+
+class TestMatrixMetric:
+    def _line_matrix(self):
+        return pairwise_distances(np.array([0.0, 1.0, 2.0]))
+
+    def test_round_trip(self):
+        m = self._line_matrix()
+        metric = MatrixMetric(m, growth_dimension=1.0)
+        out = metric.distance_matrix(np.zeros(3))
+        assert np.allclose(out, m)
+
+    def test_size_property(self):
+        metric = MatrixMetric(self._line_matrix())
+        assert metric.size == 3
+
+    def test_size_mismatch_raises(self):
+        metric = MatrixMetric(self._line_matrix())
+        with pytest.raises(GeometryError):
+            metric.distance_matrix(np.zeros(5))
+
+    def test_rejects_invalid_matrix(self):
+        with pytest.raises(MetricError):
+            MatrixMetric(np.array([[0.0, -1.0], [-1.0, 0.0]]))
+
+    def test_rejects_bad_growth_dimension(self):
+        with pytest.raises(GeometryError):
+            MatrixMetric(self._line_matrix(), growth_dimension=0.0)
+
+    def test_repr_mentions_size(self):
+        assert "size=3" in repr(MatrixMetric(self._line_matrix()))

@@ -1,0 +1,76 @@
+"""Tests for the local-broadcast extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.constants import ProtocolConstants
+from repro.core.local_broadcast import run_local_broadcast
+from repro.deploy import uniform_chain, uniform_square
+from repro.network.network import Network
+
+
+@pytest.fixture(scope="module")
+def constants():
+    return ProtocolConstants.practical()
+
+
+class TestLocalBroadcast:
+    def test_completes_on_chain(self, constants, rng):
+        net = uniform_chain(10, gap=0.5)
+        result = run_local_broadcast(net, constants, rng)
+        assert result.success
+        assert result.missing_pairs() == []
+        assert result.completion_round >= result.coloring_rounds
+
+    def test_completes_on_square(self, constants, rng):
+        net = uniform_square(n=32, side=2.5, rng=rng)
+        result = run_local_broadcast(net, constants, rng)
+        assert result.success
+
+    def test_deliveries_cover_all_neighbour_pairs(self, constants, rng):
+        net = uniform_chain(8, gap=0.5)
+        result = run_local_broadcast(net, constants, rng)
+        adjacency = net.distances <= net.params.comm_radius
+        np.fill_diagonal(adjacency, False)
+        senders, receivers = np.nonzero(adjacency)
+        for v, u in zip(senders, receivers):
+            assert result.deliveries[v, u]
+
+    def test_single_station_trivial(self, constants, rng):
+        net = Network(np.array([[0.0, 0.0]]))
+        result = run_local_broadcast(net, constants, rng)
+        assert result.success
+        assert result.deliveries.shape == (1, 1)
+
+    def test_no_edges_trivial(self, constants, rng):
+        net = Network(np.array([[0.0, 0.0], [5.0, 0.0]]))
+        result = run_local_broadcast(net, constants, rng)
+        assert result.success
+
+    def test_budget_exhaustion_reports_missing(self, constants, rng):
+        net = uniform_square(n=32, side=2.0, rng=rng)
+        result = run_local_broadcast(net, constants, rng, round_budget=1)
+        assert not result.success
+        assert len(result.missing_pairs()) > 0
+
+    def test_reproducible(self, constants):
+        net = uniform_chain(8, gap=0.5)
+        a = run_local_broadcast(net, constants, np.random.default_rng(1))
+        b = run_local_broadcast(net, constants, np.random.default_rng(1))
+        assert a.completion_round == b.completion_round
+
+    def test_denser_networks_take_longer(self, constants):
+        # Local broadcast pays the Delta factor: delivering into a station
+        # with many neighbours needs more distinct receptions.
+        sparse = uniform_chain(12, gap=0.5)
+        dense = uniform_square(n=48, side=1.5, rng=np.random.default_rng(2))
+        a = run_local_broadcast(
+            sparse, constants, np.random.default_rng(3)
+        )
+        b = run_local_broadcast(
+            dense, constants, np.random.default_rng(3)
+        )
+        assert a.success and b.success
+        per_pair_a = a.total_rounds
+        per_pair_b = b.total_rounds
+        assert per_pair_b > per_pair_a / 4  # dense is not magically free

@@ -1,0 +1,169 @@
+"""Tests for the Network aggregate and communication-graph utilities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    DeploymentError,
+    DisconnectedNetworkError,
+    GeometryError,
+)
+from repro.network.graph import (
+    bfs_layers,
+    communication_graph,
+    diameter,
+    eccentricity,
+    granularity,
+    max_degree,
+)
+from repro.network.network import Network
+from repro.sinr.params import SINRParameters
+
+
+class TestCommunicationGraph:
+    def test_edge_iff_within_radius(self, three_station_line):
+        g = three_station_line.graph
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 2)
+        assert not g.has_edge(0, 2)  # distance 1.2 > 0.7
+
+    def test_no_self_loops(self, small_square):
+        assert all(u != v for u, v in small_square.graph.edges)
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(GeometryError):
+            communication_graph(np.zeros((2, 2)), 0.0)
+
+    def test_isolated_station(self):
+        net = Network(np.array([[0.0, 0.0], [5.0, 0.0]]))
+        assert net.graph.number_of_edges() == 0
+        assert not net.is_connected
+
+
+class TestDiameterAndEccentricity:
+    def test_path_graph_diameter(self, three_station_line):
+        assert three_station_line.diameter == 2
+
+    def test_single_station(self):
+        net = Network(np.array([[0.0, 0.0]]))
+        assert net.diameter == 0
+
+    def test_disconnected_raises(self):
+        net = Network(np.array([[0.0, 0.0], [5.0, 0.0]]))
+        with pytest.raises(DisconnectedNetworkError):
+            _ = net.diameter
+
+    def test_eccentricity_from_end(self, three_station_line):
+        assert three_station_line.eccentricity(0) == 2
+        assert three_station_line.eccentricity(1) == 1
+
+    def test_eccentricity_unknown_source(self, three_station_line):
+        with pytest.raises(GeometryError):
+            eccentricity(three_station_line.graph, 99)
+
+    def test_diameter_at_most_twice_eccentricity(self, small_square):
+        d = small_square.diameter
+        e = small_square.eccentricity(0)
+        assert e <= d <= 2 * e
+
+
+class TestBfsLayers:
+    def test_layers_of_path(self, three_station_line):
+        layers = three_station_line.bfs_layers(0)
+        assert layers == [[0], [1], [2]]
+
+    def test_layers_partition_stations(self, small_square):
+        layers = small_square.bfs_layers(0)
+        flat = [v for layer in layers for v in layer]
+        assert sorted(flat) == list(range(small_square.size))
+
+    def test_layer_count_is_ecc_plus_one(self, small_square):
+        layers = small_square.bfs_layers(0)
+        assert len(layers) == small_square.eccentricity(0) + 1
+
+    def test_unknown_source_raises(self, three_station_line):
+        with pytest.raises(GeometryError):
+            bfs_layers(three_station_line.graph, 10)
+
+
+class TestDegreeAndGranularity:
+    def test_max_degree_path(self, three_station_line):
+        assert three_station_line.max_degree == 2
+
+    def test_max_degree_empty(self):
+        import networkx as nx
+
+        assert max_degree(nx.Graph()) == 0
+
+    def test_granularity_uniform_chain(self, small_chain):
+        # Edges: length 0.5 (hops) and 1.0 (two-hop shortcuts? 1.0 > 0.7 no)
+        assert small_chain.granularity == pytest.approx(1.0)
+
+    def test_granularity_mixed_edges(self):
+        net = Network(np.array([[0.0, 0.0], [0.1, 0.0], [0.7, 0.0]]))
+        # Edges: (0,1) len 0.1, (1,2) len 0.6, (0,2) len 0.7.
+        assert net.granularity == pytest.approx(7.0)
+
+    def test_granularity_no_edges(self):
+        net = Network(np.array([[0.0, 0.0], [5.0, 0.0]]))
+        assert net.granularity == 1.0
+
+
+class TestNetwork:
+    def test_len(self, small_square):
+        assert len(small_square) == 32
+
+    def test_rejects_empty(self):
+        with pytest.raises(DeploymentError):
+            Network(np.zeros((0, 2)))
+
+    def test_rejects_colocated(self):
+        net = Network(np.array([[0.0, 0.0], [0.0, 0.0]]))
+        with pytest.raises(DeploymentError):
+            _ = net.distances
+
+    def test_coords_read_only(self, small_square):
+        with pytest.raises(ValueError):
+            small_square.coords[0, 0] = 99.0
+
+    def test_distances_cached(self, small_square):
+        assert small_square.distances is small_square.distances
+
+    def test_gains_shape(self, small_square):
+        assert small_square.gains.shape == (32, 32)
+
+    def test_one_dimensional_coords_promoted(self):
+        net = Network(np.array([0.0, 0.5, 1.0]))
+        assert net.coords.shape == (3, 2) or net.coords.shape == (3, 1)
+        assert net.size == 3
+
+    def test_ball_query(self, three_station_line):
+        assert list(three_station_line.ball(0, 0.7)) == [0, 1]
+
+    def test_with_params_changes_graph(self, three_station_line):
+        tight = three_station_line.with_params(
+            SINRParameters.default(eps=0.5)
+        )
+        # comm radius 0.5 < 0.6: the line disconnects.
+        assert not tight.is_connected
+        assert three_station_line.is_connected  # original untouched
+
+    def test_describe_keys(self, small_square):
+        d = small_square.describe()
+        for key in ("name", "n", "connected", "diameter", "max_degree",
+                    "granularity", "alpha", "beta", "eps"):
+            assert key in d
+
+    def test_describe_disconnected(self):
+        net = Network(np.array([[0.0, 0.0], [5.0, 0.0]]))
+        d = net.describe()
+        assert d["connected"] is False
+        assert d["diameter"] is None
+
+    def test_repr(self, small_square):
+        assert "n=32" in repr(small_square)
+
+    def test_neighbors_sorted(self, small_grid):
+        nbrs = small_grid.neighbors(0)
+        assert nbrs == sorted(nbrs)
+        assert 0 not in nbrs

@@ -1,0 +1,230 @@
+"""Tests for the synchronous round engine and node interface."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.network.network import Network
+from repro.sim.engine import Simulator
+from repro.sim.messages import Message, Reception
+from repro.sim.node import NodeAlgorithm, SilentNode
+from repro.sim.trace import TraceRecorder
+
+
+class AlwaysTransmit(NodeAlgorithm):
+    def __init__(self, index, payload=None):
+        super().__init__(index)
+        self.payload = payload if payload is not None else f"msg-{index}"
+        self.receptions = []
+
+    def transmission(self, round_no):
+        return 1.0, self.payload
+
+    def end_round(self, reception):
+        self.receptions.append(reception)
+
+
+class Listener(SilentNode):
+    pass
+
+
+class BadProbability(NodeAlgorithm):
+    def transmission(self, round_no):
+        return 1.5, None
+
+    def end_round(self, reception):
+        pass
+
+
+def _net_pair():
+    return Network(np.array([[0.0, 0.0], [0.5, 0.0]]))
+
+
+class TestSimulatorConstruction:
+    def test_node_count_mismatch(self, rng):
+        net = _net_pair()
+        with pytest.raises(SimulationError):
+            Simulator(net, [Listener(0)], rng)
+
+    def test_node_index_mismatch(self, rng):
+        net = _net_pair()
+        with pytest.raises(SimulationError):
+            Simulator(net, [Listener(1), Listener(0)], rng)
+
+
+class TestStep:
+    def test_lone_transmitter_delivers(self, rng):
+        net = _net_pair()
+        nodes = [AlwaysTransmit(0), Listener(1)]
+        sim = Simulator(net, nodes, rng)
+        heard = sim.step()
+        assert heard[1] == 0
+        assert nodes[1].heard[0].message.payload == "msg-0"
+
+    def test_transmitter_reception_records_transmitted(self, rng):
+        net = _net_pair()
+        nodes = [AlwaysTransmit(0), Listener(1)]
+        sim = Simulator(net, nodes, rng)
+        sim.step()
+        assert nodes[0].receptions[0].transmitted is True
+        assert nodes[0].receptions[0].message is None
+
+    def test_both_transmit_nobody_hears(self, rng):
+        net = _net_pair()
+        nodes = [AlwaysTransmit(0), AlwaysTransmit(1)]
+        sim = Simulator(net, nodes, rng)
+        heard = sim.step()
+        assert np.all(heard == -1)
+
+    def test_round_counter_advances(self, rng):
+        net = _net_pair()
+        sim = Simulator(net, [Listener(0), Listener(1)], rng)
+        sim.step()
+        sim.step()
+        assert sim.round_no == 2
+
+    def test_invalid_probability_raises(self, rng):
+        net = _net_pair()
+        sim = Simulator(net, [BadProbability(0), Listener(1)], rng)
+        with pytest.raises(SimulationError):
+            sim.step()
+
+    def test_silence_reaches_all_nodes(self, rng):
+        net = _net_pair()
+        nodes = [Listener(0), Listener(1)]
+        sim = Simulator(net, nodes, rng)
+        sim.step()
+        assert nodes[0].heard == [] and nodes[1].heard == []
+
+
+class TestRun:
+    def test_run_respects_budget(self, rng):
+        net = _net_pair()
+        sim = Simulator(net, [Listener(0), Listener(1)], rng)
+        result = sim.run(10)
+        assert result.rounds == 10
+        assert not result.stopped_early
+
+    def test_stop_condition(self, rng):
+        net = _net_pair()
+        nodes = [AlwaysTransmit(0), Listener(1)]
+        sim = Simulator(net, nodes, rng)
+        result = sim.run(100, stop=lambda s: len(nodes[1].heard) > 0)
+        assert result.stopped_early
+        assert result.rounds == 1
+
+    def test_check_every_thins_stops(self, rng):
+        net = _net_pair()
+        nodes = [AlwaysTransmit(0), Listener(1)]
+        sim = Simulator(net, nodes, rng)
+        result = sim.run(
+            100, stop=lambda s: len(nodes[1].heard) > 0, check_every=5
+        )
+        assert result.stopped_early
+        assert result.rounds == 5
+
+    def test_negative_budget_raises(self, rng):
+        net = _net_pair()
+        sim = Simulator(net, [Listener(0), Listener(1)], rng)
+        with pytest.raises(SimulationError):
+            sim.run(-1)
+
+    def test_zero_budget(self, rng):
+        net = _net_pair()
+        sim = Simulator(net, [Listener(0), Listener(1)], rng)
+        assert sim.run(0).rounds == 0
+
+    def test_all_finished_default_false(self, rng):
+        net = _net_pair()
+        sim = Simulator(net, [Listener(0), Listener(1)], rng)
+        assert not sim.all_finished()
+
+
+class TestProbabilisticBehaviour:
+    def test_half_probability_transmits_about_half(self, rng):
+        class Half(NodeAlgorithm):
+            def __init__(self, index):
+                super().__init__(index)
+                self.count = 0
+
+            def transmission(self, round_no):
+                return 0.5, "x"
+
+            def end_round(self, reception):
+                if reception.transmitted:
+                    self.count += 1
+
+        net = _net_pair()
+        nodes = [Half(0), Half(1)]
+        sim = Simulator(net, nodes, rng)
+        sim.run(600)
+        for node in nodes:
+            assert 240 <= node.count <= 360  # ~6 sigma around 300
+
+    def test_deterministic_given_seed(self):
+        net = _net_pair()
+
+        def run_once(seed):
+            rng = np.random.default_rng(seed)
+
+            class Half(NodeAlgorithm):
+                def transmission(self, round_no):
+                    return 0.5, "x"
+
+                def end_round(self, reception):
+                    pass
+
+            sim = Simulator(net, [Half(0), Half(1)], rng)
+            return [tuple(sim.step()) for _ in range(20)]
+
+        assert run_once(9) == run_once(9)
+        assert run_once(9) != run_once(10)
+
+
+class TestTraceIntegration:
+    def test_trace_records_rounds(self, rng):
+        net = _net_pair()
+        trace = TraceRecorder()
+        nodes = [AlwaysTransmit(0), Listener(1)]
+        sim = Simulator(net, nodes, rng, trace=trace)
+        sim.run(5)
+        assert trace.rounds == 5
+        assert np.all(trace.transmissions_per_round() == 1)
+        assert np.all(trace.receptions_per_round() == 1)
+
+    def test_busiest_round(self, rng):
+        net = _net_pair()
+        trace = TraceRecorder()
+        sim = Simulator(
+            net, [AlwaysTransmit(0), AlwaysTransmit(1)], rng, trace=trace
+        )
+        sim.run(3)
+        assert trace.busiest_round().num_transmitters == 2
+
+    def test_empty_trace(self):
+        trace = TraceRecorder()
+        assert trace.busiest_round() is None
+        assert trace.rounds == 0
+
+    def test_transmitter_sets_kept_on_request(self, rng):
+        net = _net_pair()
+        trace = TraceRecorder(keep_transmitter_sets=True)
+        sim = Simulator(net, [AlwaysTransmit(0), Listener(1)], rng, trace=trace)
+        sim.run(2)
+        assert len(trace.transmitter_sets) == 2
+        assert list(trace.transmitter_sets[0]) == [0]
+
+
+class TestMessages:
+    def test_reception_heard_property(self):
+        r = Reception(round_no=0, transmitted=False, message=None)
+        assert not r.heard
+        r2 = Reception(
+            round_no=0, transmitted=False, message=Message(sender=1)
+        )
+        assert r2.heard
+
+    def test_message_frozen(self):
+        m = Message(sender=0, payload="a")
+        with pytest.raises(AttributeError):
+            m.sender = 1

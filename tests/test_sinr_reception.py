@@ -1,0 +1,164 @@
+"""Tests for the SINR channel: gain matrices and reception resolution.
+
+These encode the paper's Facts 2/3-style reasoning as concrete channel
+behaviours: lone transmitters reach their range, co-transmitters collide,
+capture favours the nearest transmitter.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.geometry.metric import pairwise_distances
+from repro.sinr.gain import gain_matrix, interference_at, received_power
+from repro.sinr.params import SINRParameters
+from repro.sinr.reception import NO_SENDER, resolve_reception, sinr_values
+
+PARAMS = SINRParameters.default()  # alpha=3, beta=1, N=1, P=1*1... range 1
+
+
+def _gains(positions):
+    coords = np.asarray(positions, dtype=float)
+    dist = pairwise_distances(coords)
+    return gain_matrix(dist, PARAMS.power, PARAMS.alpha)
+
+
+class TestGainMatrix:
+    def test_zero_diagonal(self):
+        g = _gains([[0, 0], [1, 0], [2, 0]])
+        assert np.all(np.diag(g) == 0)
+
+    def test_inverse_power_law(self):
+        g = _gains([[0, 0], [0.5, 0]])
+        assert g[0, 1] == pytest.approx(PARAMS.power / 0.5 ** 3)
+
+    def test_symmetric_for_uniform_power(self):
+        g = _gains(np.random.default_rng(0).uniform(size=(6, 2)))
+        assert np.allclose(g, g.T)
+
+    def test_rejects_bad_params(self):
+        dist = pairwise_distances(np.array([[0.0, 0.0], [1.0, 0.0]]))
+        with pytest.raises(SimulationError):
+            gain_matrix(dist, 0.0, 3.0)
+        with pytest.raises(SimulationError):
+            gain_matrix(dist, 1.0, -1.0)
+
+
+class TestReceivedPower:
+    def test_no_transmitters(self):
+        g = _gains([[0, 0], [1, 0]])
+        assert np.all(received_power(g, np.array([], dtype=int)) == 0)
+
+    def test_single_transmitter(self):
+        g = _gains([[0, 0], [0.5, 0]])
+        total = received_power(g, np.array([0]))
+        assert total[1] == pytest.approx(g[0, 1])
+        assert total[0] == 0.0  # no self-contribution
+
+    def test_additive(self):
+        g = _gains([[0, 0], [1, 0], [0.5, 0.5]])
+        total = received_power(g, np.array([0, 1]))
+        assert total[2] == pytest.approx(g[0, 2] + g[1, 2])
+
+
+class TestInterferenceAt:
+    def test_excludes_designated_sender(self):
+        g = _gains([[0, 0], [0.6, 0], [1.2, 0]])
+        tx = np.array([0, 2])
+        i = interference_at(g, tx, listener=1, sender=0)
+        assert i == pytest.approx(g[2, 1])
+
+    def test_sender_not_transmitting_is_fine(self):
+        g = _gains([[0, 0], [0.6, 0], [1.2, 0]])
+        i = interference_at(g, np.array([2]), listener=1, sender=0)
+        assert i == pytest.approx(g[2, 1])
+
+
+class TestResolveReception:
+    def test_lone_transmitter_reaches_neighbors(self):
+        g = _gains([[0, 0], [0.5, 0], [0.9, 0]])
+        heard = resolve_reception(g, np.array([0]), PARAMS.noise, PARAMS.beta)
+        assert heard[1] == 0
+        assert heard[2] == 0  # 0.9 < r = 1, no interference
+        assert heard[0] == NO_SENDER  # transmitters do not receive
+
+    def test_out_of_range_not_heard(self):
+        g = _gains([[0, 0], [1.5, 0]])
+        heard = resolve_reception(g, np.array([0]), PARAMS.noise, PARAMS.beta)
+        assert heard[1] == NO_SENDER
+
+    def test_exactly_at_range_heard(self):
+        # dist = 1 = r: SINR = P/(N * 1) = beta exactly -> received.
+        g = _gains([[0, 0], [1.0, 0]])
+        heard = resolve_reception(g, np.array([0]), PARAMS.noise, PARAMS.beta)
+        assert heard[1] == 0
+
+    def test_symmetric_colliders_destroy_each_other(self):
+        # Two transmitters equidistant from the listener: SINR = g/(N+g) < 1.
+        g = _gains([[0, 0], [1.0, 0], [0.5, 0.4]])
+        heard = resolve_reception(
+            g, np.array([0, 1]), PARAMS.noise, PARAMS.beta
+        )
+        assert heard[2] == NO_SENDER
+
+    def test_capture_nearest_wins(self):
+        # Very close transmitter survives a far co-transmitter.
+        g = _gains([[0, 0], [0.1, 0], [1.0, 0]])
+        heard = resolve_reception(
+            g, np.array([0, 2]), PARAMS.noise, PARAMS.beta
+        )
+        assert heard[1] == 0
+
+    def test_no_transmitters_nobody_hears(self):
+        g = _gains([[0, 0], [0.5, 0]])
+        heard = resolve_reception(
+            g, np.array([], dtype=int), PARAMS.noise, PARAMS.beta
+        )
+        assert np.all(heard == NO_SENDER)
+
+    def test_all_transmit_nobody_hears(self):
+        g = _gains([[0, 0], [0.5, 0], [1.0, 0]])
+        heard = resolve_reception(
+            g, np.array([0, 1, 2]), PARAMS.noise, PARAMS.beta
+        )
+        assert np.all(heard == NO_SENDER)
+
+    def test_at_most_one_sender_heard_with_beta_geq_one(self):
+        rng = np.random.default_rng(3)
+        coords = rng.uniform(0, 3, size=(30, 2))
+        g = _gains(coords)
+        for _ in range(20):
+            tx = np.flatnonzero(rng.random(30) < 0.2)
+            heard = resolve_reception(g, tx, PARAMS.noise, PARAMS.beta)
+            receivers = np.flatnonzero(heard != NO_SENDER)
+            # every heard sender must actually transmit; receivers not
+            for u in receivers:
+                assert heard[u] in tx
+                assert u not in tx
+
+    def test_heard_sender_is_strongest(self):
+        rng = np.random.default_rng(4)
+        coords = rng.uniform(0, 2, size=(12, 2))
+        g = _gains(coords)
+        tx = np.array([0, 3, 7])
+        best, sinr = sinr_values(g, tx, PARAMS.noise)
+        for u in range(12):
+            if u in tx:
+                continue
+            assert g[best[u], u] == pytest.approx(g[tx, u].max())
+
+
+class TestSinrValues:
+    def test_empty_transmitters(self):
+        g = _gains([[0, 0], [1, 0]])
+        best, sinr = sinr_values(g, np.array([], dtype=int), PARAMS.noise)
+        assert np.all(best == NO_SENDER)
+        assert np.all(sinr == 0)
+
+    def test_matches_manual_sinr(self):
+        g = _gains([[0, 0], [0.6, 0], [1.2, 0]])
+        tx = np.array([0, 2])
+        best, sinr = sinr_values(g, tx, PARAMS.noise)
+        manual = g[0, 1] / (PARAMS.noise + g[2, 1])
+        assert best[1] == 0
+        assert sinr[1] == pytest.approx(manual)

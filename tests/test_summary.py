@@ -1,0 +1,81 @@
+"""Tests for the Markdown summary writer."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.experiments.base import ExperimentReport
+from repro.experiments.summary import (
+    _markdown_table,
+    report_to_markdown,
+    reports_to_markdown,
+)
+
+
+def _report():
+    return ExperimentReport(
+        exp_id="E99",
+        title="Demo",
+        claim="something holds",
+        headers=["n", "rounds"],
+        rows=[[8, 100], [16, 220]],
+        metrics={"fit": "log^2 n"},
+        notes=["a caveat"],
+    )
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        table = _markdown_table(["a", "b"], [[1, 2]])
+        lines = table.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+    def test_width_mismatch(self):
+        with pytest.raises(AnalysisError):
+            _markdown_table(["a"], [[1, 2]])
+
+    def test_empty_headers(self):
+        with pytest.raises(AnalysisError):
+            _markdown_table([], [])
+
+
+class TestReportToMarkdown:
+    def test_contains_all_parts(self):
+        md = report_to_markdown(_report())
+        assert "## E99 — Demo" in md
+        assert "**Claim.** something holds" in md
+        assert "| 16 | 220 |" in md
+        assert "`fit` = log^2 n" in md
+        assert "*Note.* a caveat" in md
+
+    def test_no_metrics_no_metrics_line(self):
+        report = _report()
+        report.metrics = {}
+        md = report_to_markdown(report)
+        assert "**Metrics.**" not in md
+
+
+class TestReportsToMarkdown:
+    def test_document(self):
+        md = reports_to_markdown([_report(), _report()], title="T",
+                                 preamble="P")
+        assert md.startswith("# T")
+        assert "P" in md
+        assert md.count("## E99") == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            reports_to_markdown([])
+
+
+class TestCliMarkdown:
+    def test_cli_writes_markdown(self, tmp_path):
+        from repro.experiments.__main__ import main
+
+        out = tmp_path / "report.md"
+        code = main(["E01", "--scale", "quick", "--markdown", str(out)])
+        assert code == 0
+        text = out.read_text()
+        assert "E01" in text
+        assert "| n |" in text or "| n " in text
