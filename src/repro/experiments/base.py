@@ -69,6 +69,31 @@ def trial_rngs(
         yield np.random.default_rng(child)
 
 
+def sweep_trials(
+    kind: str,
+    network,
+    n_trials: int,
+    seed: int,
+    constants=None,
+    **kwargs,
+):
+    """Run one experiment replication loop through the sweep engine.
+
+    The batched counterpart of ``for rng in trial_rngs(...)``: trial
+    ``b`` draws from the same spawned generator either way, but the sweep
+    engine advances all trials through the protocol in one set of numpy
+    operations (falling back to a loop over the reference simulator for
+    kinds without a batched kernel).
+
+    :returns: a :class:`repro.fastsim.sweep.SweepResult`.
+    """
+    from repro.fastsim.sweep import run_sweep
+
+    return run_sweep(
+        kind, network, n_trials, seed, constants=constants, **kwargs
+    )
+
+
 def fmt(value: float, digits: int = 1) -> str:
     """Fixed-point cell formatting."""
     return f"{value:.{digits}f}"

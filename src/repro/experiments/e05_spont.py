@@ -16,9 +16,13 @@ from repro.analysis.fitting import (
 from repro.analysis.stats import aggregate_trials, success_rate
 from repro.core.constants import ProtocolConstants
 from repro.deploy import grid
-from repro.experiments.base import ExperimentReport, check_scale, fmt, trial_rngs
+from repro.experiments.base import (
+    ExperimentReport,
+    check_scale,
+    fmt,
+    sweep_trials,
+)
 from repro.experiments.e04_nospont import fixed_extent_grid
-from repro.fastsim import fast_spont_broadcast
 
 SWEEP = {
     "quick": {
@@ -54,14 +58,13 @@ def run(scale: str = "quick", seed: int = 2014) -> ExperimentReport:
     for rows_, cols in cfg["shapes"]:
         net = grid(rows_, cols, spacing=0.5)
         depth = net.eccentricity(0)
-        rounds, succ = [], []
-        for rng in trial_rngs(cfg["trials"], seed + cols):
-            out = fast_spont_broadcast(net, 0, constants, rng)
-            succ.append(out.success)
-            if out.success:
-                rounds.append(out.completion_round)
+        sweep = sweep_trials(
+            "spont_broadcast", net, cfg["trials"], seed + cols,
+            constants, source=0,
+        )
+        succ = sweep.success.tolist()
         all_success.extend(succ)
-        stats = aggregate_trials(rounds)
+        stats = aggregate_trials(sweep.successful_rounds())
         bound = paper_bound_spont(max(depth, 1), net.size)
         report.rows.append(
             [
@@ -76,14 +79,13 @@ def run(scale: str = "quick", seed: int = 2014) -> ExperimentReport:
         net = fixed_extent_grid(k)
         n = net.size
         depth = net.eccentricity(0)
-        rounds, succ = [], []
-        for rng in trial_rngs(cfg["trials"], seed + 1000 + n):
-            out = fast_spont_broadcast(net, 0, constants, rng)
-            succ.append(out.success)
-            if out.success:
-                rounds.append(out.completion_round)
+        sweep = sweep_trials(
+            "spont_broadcast", net, cfg["trials"], seed + 1000 + n,
+            constants, source=0,
+        )
+        succ = sweep.success.tolist()
         all_success.extend(succ)
-        stats = aggregate_trials(rounds)
+        stats = aggregate_trials(sweep.successful_rounds())
         bound = paper_bound_spont(max(depth, 1), n)
         report.rows.append(
             [

@@ -16,8 +16,13 @@ from repro.analysis.fitting import growth_exponent
 from repro.analysis.stats import aggregate_trials, success_rate
 from repro.core.constants import ProtocolConstants
 from repro.deploy import uniform_square
-from repro.experiments.base import ExperimentReport, check_scale, fmt, trial_rngs
-from repro.fastsim import fast_local_broadcast_global, fast_spont_broadcast
+from repro.experiments.base import (
+    ExperimentReport,
+    check_scale,
+    fmt,
+    sweep_trials,
+    trial_rngs,
+)
 
 SWEEP = {
     "quick": {"ns": [32, 64, 128, 256], "trials": 3},
@@ -45,17 +50,17 @@ def run(scale: str = "quick", seed: int = 2014) -> ExperimentReport:
     for n, rng0 in zip(cfg["ns"], trial_rngs(len(cfg["ns"]), seed)):
         net = uniform_square(n=n, side=SIDE, rng=rng0)
         delta = net.max_degree
-        sb, lb, succ = [], [], []
-        for rng in trial_rngs(cfg["trials"], seed + n):
-            a = fast_spont_broadcast(net, 0, constants, rng)
-            b = fast_local_broadcast_global(net, 0, rng)
-            succ.append(a.success and b.success)
-            if a.success:
-                sb.append(a.completion_round)
-            if b.success:
-                lb.append(b.completion_round)
-        sb_mean = aggregate_trials(sb).mean
-        lb_mean = aggregate_trials(lb).mean
+        sweep_sb = sweep_trials(
+            "spont_broadcast", net, cfg["trials"], seed + n,
+            constants, source=0,
+        )
+        sweep_lb = sweep_trials(
+            "local_broadcast", net, cfg["trials"], seed + 7000 + n,
+            source=0,
+        )
+        succ = (sweep_sb.success & sweep_lb.success).tolist()
+        sb_mean = aggregate_trials(sweep_sb.successful_rounds()).mean
+        lb_mean = aggregate_trials(sweep_lb.successful_rounds()).mean
         deltas.append(delta)
         sb_means.append(sb_mean)
         lb_means.append(lb_mean)

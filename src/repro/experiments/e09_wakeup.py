@@ -2,9 +2,10 @@
 
 An adversary staggers spontaneous wake-ups; the claim is that all
 stations are awake within ``O(D log^2 n)`` rounds of the *first*
-spontaneous wake-up, for every schedule.  Uses the reference engine (the
-wake-up logic lives in per-node state machines), so the sweep is smaller
-than the fastsim experiments.
+spontaneous wake-up, for every schedule.  Replication loops run through
+the batched sweep engine (``fast_adhoc_wakeup``), which is what allows
+more seeds per (workload, schedule) cell than the original
+reference-engine sweep.
 """
 
 from __future__ import annotations
@@ -14,16 +15,21 @@ import numpy as np
 from repro.analysis.fitting import paper_bound_nospont
 from repro.analysis.stats import aggregate_trials, success_rate
 from repro.core.constants import ProtocolConstants
-from repro.core.wakeup import run_adhoc_wakeup
 from repro.deploy import grid_chain, uniform_square
-from repro.experiments.base import ExperimentReport, check_scale, fmt, trial_rngs
+from repro.experiments.base import (
+    ExperimentReport,
+    check_scale,
+    fmt,
+    sweep_trials,
+    trial_rngs,
+)
 from repro.sim.wakeup import WakeupSchedule
 
 SWEEP = {
-    "quick": {"workloads": ["chain-8", "uniform-40"], "trials": 2},
+    "quick": {"workloads": ["chain-8", "uniform-40"], "trials": 4},
     "full": {
         "workloads": ["chain-8", "chain-16", "uniform-40", "uniform-80"],
-        "trials": 4,
+        "trials": 8,
     },
 }
 
@@ -70,13 +76,21 @@ def run(scale: str = "quick", seed: int = 2014) -> ExperimentReport:
         net = _build(wname, rng0)
         depth = net.diameter
         bound = paper_bound_nospont(max(depth, 1), net.size)
-        for sname, schedule in _schedules(net, constants, rng0):
-            times, succ = [], []
-            for rng in trial_rngs(cfg["trials"], seed + hash(sname) % 1000):
-                out = run_adhoc_wakeup(net, schedule, constants, rng)
-                succ.append(out.success)
-                if out.success:
-                    times.append(out.extras["wakeup_time"])
+        for s_idx, (sname, schedule) in enumerate(
+            _schedules(net, constants, rng0)
+        ):
+            # Salted str hashes differ across processes; index the
+            # schedule instead so reruns see identical spawned seeds.
+            sweep = sweep_trials(
+                "adhoc_wakeup", net, cfg["trials"],
+                seed + 100 * (s_idx + 1), constants, schedule=schedule,
+            )
+            succ = sweep.success.tolist()
+            times = [
+                out.extras["wakeup_time"]
+                for out in sweep.outcomes
+                if out.success
+            ]
             all_success.extend(succ)
             stats = aggregate_trials(times) if times else None
             mean = stats.mean if stats else float("nan")

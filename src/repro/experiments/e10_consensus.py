@@ -3,21 +3,29 @@
 The bitwise min-consensus runs one time-boxed colored wake-up per bit of
 the message space ``{0..x}``; total rounds should scale linearly with
 ``ceil(log2(x+1))`` at fixed network, and every trial must agree on the
-true minimum.
+true minimum.  Replications run through the batched sweep engine
+(``fast_consensus``), cross-validated against the reference protocol in
+the test suite.
 """
 
 from __future__ import annotations
 
 from repro.analysis.fitting import fit_models
 from repro.analysis.stats import aggregate_trials, success_rate
-from repro.core.consensus import bits_for_range, run_consensus
+from repro.core.consensus import bits_for_range
 from repro.core.constants import ProtocolConstants
 from repro.deploy import uniform_square
-from repro.experiments.base import ExperimentReport, check_scale, fmt, trial_rngs
+from repro.experiments.base import (
+    ExperimentReport,
+    check_scale,
+    fmt,
+    sweep_trials,
+    trial_rngs,
+)
 
 SWEEP = {
-    "quick": {"n": 32, "xs": [3, 15, 255], "trials": 2},
-    "full": {"n": 64, "xs": [3, 15, 255, 4095, 65535], "trials": 4},
+    "quick": {"n": 32, "xs": [3, 15, 255], "trials": 4},
+    "full": {"n": 64, "xs": [3, 15, 255, 4095, 65535], "trials": 8},
 }
 
 
@@ -38,14 +46,14 @@ def run(scale: str = "quick", seed: int = 2014) -> ExperimentReport:
     all_ok = []
     for x in cfg["xs"]:
         bits = bits_for_range(x)
-        rounds, ok = [], []
-        for rng in trial_rngs(cfg["trials"], seed + x):
-            values = rng.integers(0, x + 1, size=net.size).tolist()
-            result = run_consensus(net, values, x, constants, rng)
-            ok.append(result.agreed and result.correct)
-            rounds.append(result.total_rounds)
+        # Each replication draws its own value vector, then the sweep
+        # engine pushes every replication through all bit boxes at once.
+        sweep = sweep_trials(
+            "consensus", net, cfg["trials"], seed + x, constants, x_max=x,
+        )
+        ok = sweep.success.tolist()
         all_ok.extend(ok)
-        stats = aggregate_trials(rounds)
+        stats = aggregate_trials(sweep.rounds)
         bits_series.append(bits)
         round_series.append(stats.mean)
         report.rows.append(

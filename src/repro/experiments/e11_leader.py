@@ -3,19 +3,27 @@
 Random IDs from ``{1..n^3}`` plus consensus; every trial should end with
 all stations agreeing on one ID held by exactly one station, in
 ``O(D log^2 n + log^3 n)`` rounds (~``3 log n`` consensus bit boxes).
+Replications run through the batched sweep engine
+(``fast_leader_election``), cross-validated against the reference
+protocol in the test suite.
 """
 
 from __future__ import annotations
 
 from repro.analysis.stats import aggregate_trials, success_rate
 from repro.core.constants import ProtocolConstants, log2ceil
-from repro.core.leader_election import run_leader_election
 from repro.deploy import uniform_square
-from repro.experiments.base import ExperimentReport, check_scale, fmt, trial_rngs
+from repro.experiments.base import (
+    ExperimentReport,
+    check_scale,
+    fmt,
+    sweep_trials,
+    trial_rngs,
+)
 
 SWEEP = {
-    "quick": {"ns": [16, 32], "trials": 2},
-    "full": {"ns": [16, 32, 64, 128], "trials": 4},
+    "quick": {"ns": [16, 32], "trials": 4},
+    "full": {"ns": [16, 32, 64, 128], "trials": 8},
 }
 
 
@@ -32,13 +40,12 @@ def run(scale: str = "quick", seed: int = 2014) -> ExperimentReport:
     all_ok = []
     for n, rng0 in zip(cfg["ns"], trial_rngs(len(cfg["ns"]), seed)):
         net = uniform_square(n=n, side=2.0, rng=rng0)
-        rounds, ok = [], []
-        for rng in trial_rngs(cfg["trials"], seed + n):
-            result = run_leader_election(net, constants, rng)
-            ok.append(result.success)
-            rounds.append(result.total_rounds)
+        sweep = sweep_trials(
+            "leader_election", net, cfg["trials"], seed + n, constants,
+        )
+        ok = sweep.success.tolist()
         all_ok.extend(ok)
-        stats = aggregate_trials(rounds)
+        stats = aggregate_trials(sweep.rounds)
         logn = log2ceil(n)
         report.rows.append(
             [

@@ -14,8 +14,13 @@ from __future__ import annotations
 from repro.analysis.stats import aggregate_trials, relative_spread
 from repro.core.constants import ProtocolConstants
 from repro.deploy import same_graph_family, uniform_square
-from repro.experiments.base import ExperimentReport, check_scale, fmt, trial_rngs
-from repro.fastsim import fast_spont_broadcast
+from repro.experiments.base import (
+    ExperimentReport,
+    check_scale,
+    fmt,
+    sweep_trials,
+    trial_rngs,
+)
 
 SWEEP = {
     "quick": {"n": 64, "scales": [0.02, 0.05], "trials": 4},
@@ -41,12 +46,11 @@ def run(scale: str = "quick", seed: int = 2014) -> ExperimentReport:
     member_means = []
     for idx, member in enumerate(family):
         label = "base" if idx == 0 else f"scale={cfg['scales'][idx - 1]}"
-        rounds = []
-        for rng in trial_rngs(cfg["trials"], seed + idx):
-            out = fast_spont_broadcast(member, 0, constants, rng)
-            if out.success:
-                rounds.append(out.completion_round)
-        stats = aggregate_trials(rounds)
+        sweep = sweep_trials(
+            "spont_broadcast", member, cfg["trials"], seed + idx,
+            constants, source=0,
+        )
+        stats = aggregate_trials(sweep.successful_rounds())
         member_means.append(stats.mean)
         report.rows.append(
             ["same-graph", label, fmt(stats.mean), stats.count]
@@ -56,12 +60,11 @@ def run(scale: str = "quick", seed: int = 2014) -> ExperimentReport:
     control_means = []
     for k, rng in enumerate(trial_rngs(3, seed + 999)):
         other = uniform_square(n=cfg["n"], side=3.0, rng=rng)
-        rounds = []
-        for rng2 in trial_rngs(cfg["trials"], seed + 500 + k):
-            out = fast_spont_broadcast(other, 0, constants, rng2)
-            if out.success:
-                rounds.append(out.completion_round)
-        stats = aggregate_trials(rounds)
+        sweep = sweep_trials(
+            "spont_broadcast", other, cfg["trials"], seed + 500 + k,
+            constants, source=0,
+        )
+        stats = aggregate_trials(sweep.successful_rounds())
         control_means.append(stats.mean)
         report.rows.append(
             ["control-graph", f"draw {k}", fmt(stats.mean), stats.count]

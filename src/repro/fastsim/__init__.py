@@ -7,7 +7,17 @@ model for an order of magnitude in speed.  Both share
 :class:`repro.core.constants.ColoringSchedule` for all round arithmetic,
 so their phase structures are identical by construction; integration tests
 cross-validate their outputs statistically (colorings satisfying the same
-mass bounds, broadcasts completing in comparable rounds).
+mass bounds, broadcasts/wake-ups/consensus completing in comparable
+rounds with identical safety properties).
+
+Every protocol exists in two forms: a single-instance function
+(``fast_coloring``, ``fast_spont_broadcast``, ``fast_wakeup``,
+``fast_consensus``, ``fast_leader_election``, ...) and a batched kernel
+(``*_batch``) that runs ``B`` independent seed-spawned replications in
+one set of numpy operations.  The single-instance form is exactly the
+``B = 1`` case of the batched kernel, so batched sweeps through
+:func:`repro.fastsim.sweep.run_sweep` reproduce a sequential replication
+loop sample for sample (DESIGN.md §6 states the contract).
 
 One intentional simplification: during a *global* coloring stage the
 reference implementation lets any reception from an informed station carry
@@ -17,21 +27,67 @@ informed), so message spread during coloring matches the reference
 semantics exactly.
 """
 
-from repro.fastsim.coloring import FastColoringResult, fast_coloring
+from repro.fastsim.coloring import (
+    FastColoringBatch,
+    FastColoringResult,
+    fast_coloring,
+    fast_coloring_batch,
+)
 from repro.fastsim.broadcast import (
     fast_spont_broadcast,
+    fast_spont_broadcast_batch,
     fast_nospont_broadcast,
+    fast_nospont_broadcast_batch,
     fast_decay_broadcast,
+    fast_decay_broadcast_batch,
     fast_uniform_broadcast,
+    fast_uniform_broadcast_batch,
     fast_local_broadcast_global,
+    fast_local_broadcast_global_batch,
 )
+from repro.fastsim.wakeup import (
+    VectorColoringState,
+    fast_adhoc_wakeup,
+    fast_adhoc_wakeup_batch,
+    fast_colored_wakeup,
+    fast_colored_wakeup_batch,
+    fast_wakeup,
+)
+from repro.fastsim.consensus import fast_consensus, fast_consensus_batch
+from repro.fastsim.leader import (
+    fast_leader_election,
+    fast_leader_election_batch,
+)
+from repro.fastsim.engine import spawn_rngs
+from repro.fastsim.sweep import SweepResult, run_sweep, sweep_kinds
 
 __all__ = [
+    "FastColoringBatch",
     "FastColoringResult",
+    "SweepResult",
+    "VectorColoringState",
+    "fast_adhoc_wakeup",
+    "fast_adhoc_wakeup_batch",
     "fast_coloring",
-    "fast_spont_broadcast",
-    "fast_nospont_broadcast",
+    "fast_coloring_batch",
+    "fast_colored_wakeup",
+    "fast_colored_wakeup_batch",
+    "fast_consensus",
+    "fast_consensus_batch",
     "fast_decay_broadcast",
-    "fast_uniform_broadcast",
+    "fast_decay_broadcast_batch",
+    "fast_leader_election",
+    "fast_leader_election_batch",
     "fast_local_broadcast_global",
+    "fast_local_broadcast_global_batch",
+    "fast_nospont_broadcast",
+    "fast_nospont_broadcast_batch",
+    "fast_spont_broadcast",
+    "fast_spont_broadcast_batch",
+    "fast_uniform_broadcast",
+    "fast_uniform_broadcast_batch",
+    "fast_wakeup",
+    "run_sweep",
+    "spawn_rngs",
+    "sweep_kinds",
 ]

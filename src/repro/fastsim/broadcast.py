@@ -4,20 +4,29 @@ Mirrors :mod:`repro.core.broadcast_spont`,
 :mod:`repro.core.broadcast_nospont` and :mod:`repro.baselines` on flat
 arrays.  All functions return :class:`~repro.core.outcome.BroadcastOutcome`
 so the experiment harness treats reference and fast runs uniformly.
+
+Every protocol has a batched form (``fast_*_batch``) running ``B``
+replications through :mod:`repro.fastsim.engine` in one set of numpy
+operations; the plain ``fast_*`` functions are the ``B = 1`` case, so a
+batched sweep and a loop of single runs over the same seed-spawned
+generators produce identical per-replication outcomes (DESIGN.md §6).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
 from repro.core.constants import ColoringSchedule, ProtocolConstants, log2ceil
 from repro.core.outcome import NEVER_INFORMED, BroadcastOutcome
 from repro.errors import ProtocolError
-from repro.fastsim.coloring import fast_coloring
+from repro.fastsim.coloring import fast_coloring_batch
+from repro.fastsim.engine import dissemination_loop_batch
 from repro.network.network import Network
-from repro.sinr.reception import NO_SENDER, resolve_reception
+from repro.sinr.reception import NO_SENDER, resolve_reception_batch
+
+Rngs = Sequence[np.random.Generator]
 
 
 def _check_source(network: Network, source: int) -> None:
@@ -25,64 +34,108 @@ def _check_source(network: Network, source: int) -> None:
         raise ProtocolError(f"source {source} outside station range")
 
 
-def _dissemination_loop(
-    network: Network,
-    rng: np.random.Generator,
-    informed: np.ndarray,
-    informed_round: np.ndarray,
-    prob_of_round: Callable[[int, np.ndarray], np.ndarray],
-    start_round: int,
-    budget: int,
-) -> int:
-    """Run flooding rounds until everyone informed or budget exhausted.
-
-    :param prob_of_round: maps ``(round_no, informed_mask)`` to the
-        per-station transmission probability array.
-    :returns: the first unused round number.
-    """
-    gains = network.gains
-    noise = network.params.noise
-    beta = network.params.beta
-    n = network.size
-    round_no = start_round
-    end = start_round + budget
-    remaining = n - int(informed.sum())
-    while remaining > 0 and round_no < end:
-        probs = prob_of_round(round_no, informed)
-        tx_mask = rng.random(n) < probs
-        transmitters = np.flatnonzero(tx_mask)
-        if transmitters.size:
-            heard_from = resolve_reception(gains, transmitters, noise, beta)
-            newly = (heard_from != NO_SENDER) & ~informed
-            if newly.any():
-                informed[newly] = True
-                informed_round[newly] = round_no
-                remaining -= int(newly.sum())
-        round_no += 1
-    return round_no
+def _source_state(
+    B: int, n: int, source: int
+) -> tuple[np.ndarray, np.ndarray]:
+    informed = np.zeros((B, n), dtype=bool)
+    informed[:, source] = True
+    informed_round = np.full((B, n), NEVER_INFORMED, dtype=int)
+    informed_round[:, source] = 0
+    return informed, informed_round
 
 
-def _outcome(
+def _outcomes(
     algorithm: str,
     informed_round: np.ndarray,
-    total_rounds: int,
-    extras: Optional[dict] = None,
-) -> BroadcastOutcome:
-    success = bool(np.all(informed_round != NEVER_INFORMED))
-    completion = int(informed_round.max()) if success else NEVER_INFORMED
-    return BroadcastOutcome(
-        success=success,
-        completion_round=completion,
-        total_rounds=total_rounds,
-        informed_round=informed_round.copy(),
-        algorithm=algorithm,
-        extras=extras or {},
-    )
+    total_rounds: np.ndarray,
+    extras: Optional[Callable[[int], dict]] = None,
+) -> list[BroadcastOutcome]:
+    """Per-replication outcome records from batched state."""
+    results = []
+    for b in range(informed_round.shape[0]):
+        success = bool(np.all(informed_round[b] != NEVER_INFORMED))
+        completion = (
+            int(informed_round[b].max()) if success else NEVER_INFORMED
+        )
+        results.append(
+            BroadcastOutcome(
+                success=success,
+                completion_round=completion,
+                total_rounds=int(total_rounds[b]),
+                informed_round=informed_round[b].copy(),
+                algorithm=algorithm,
+                extras=extras(b) if extras else {},
+            )
+        )
+    return results
+
+
+def dissemination_probs(
+    colors: np.ndarray, constants: ProtocolConstants, n: int
+) -> np.ndarray:
+    """Vectorized part-2 probability ``min(1, p_v * c / log n)``."""
+    return np.minimum(1.0, colors * constants.dissemination / log2ceil(n))
 
 
 # ----------------------------------------------------------------------
 # the paper's algorithms
 # ----------------------------------------------------------------------
+def fast_spont_broadcast_batch(
+    network: Network,
+    source: int,
+    constants: ProtocolConstants,
+    rngs: Rngs,
+    *,
+    round_budget: Optional[int] = None,
+    budget_scale: int = 16,
+    tighten_eps: bool = True,
+) -> list[BroadcastOutcome]:
+    """Batched vectorized ``SBroadcast`` (Theorem 2)."""
+    if tighten_eps:
+        constants = constants.with_eps_prime()
+    _check_source(network, source)
+    n = network.size
+    B = len(rngs)
+    informed, informed_round = _source_state(B, n, source)
+
+    coloring = fast_coloring_batch(
+        network, constants, rngs,
+        informed=informed, informed_round=informed_round,
+    )
+    colors = np.where(np.isnan(coloring.colors), 0.0, coloring.colors)
+    diss_probs = dissemination_probs(colors, constants, n)
+
+    # Pilot round: the source transmits alone (deterministic — resolved
+    # once and shared across replications, which only differ in their
+    # informed sets at this point).
+    pilot_tx = np.zeros((1, n), dtype=bool)
+    pilot_tx[0, source] = True
+    heard_from = resolve_reception_batch(
+        network.gains, pilot_tx, network.params.noise, network.params.beta
+    )[0]
+    pilot_round = coloring.rounds
+    newly = (heard_from != NO_SENDER)[None, :] & ~informed
+    informed |= newly
+    informed_round[newly] = pilot_round
+
+    if round_budget is None:
+        logn = log2ceil(n)
+        depth = network.eccentricity(source) if n > 1 else 0
+        round_budget = budget_scale * (depth * logn + logn * logn)
+
+    def probs(_round_no: int, inf: np.ndarray) -> np.ndarray:
+        return np.where(inf, diss_probs, 0.0)
+
+    last = dissemination_loop_batch(
+        network, rngs, informed, informed_round, probs,
+        pilot_round + 1, round_budget,
+    )
+    return _outcomes(
+        "SBroadcast(fast)", informed_round, last,
+        lambda b: {"coloring_rounds": coloring.rounds, "colors": colors[b]},
+    )
+
+
 def fast_spont_broadcast(
     network: Network,
     source: int,
@@ -96,49 +149,83 @@ def fast_spont_broadcast(
     """Vectorized ``SBroadcast`` (Theorem 2)."""
     if constants is None:
         constants = ProtocolConstants.practical()
-    if tighten_eps:
-        constants = constants.with_eps_prime()
     if rng is None:
         rng = np.random.default_rng(0)
+    return fast_spont_broadcast_batch(
+        network, source, constants, [rng],
+        round_budget=round_budget, budget_scale=budget_scale,
+        tighten_eps=tighten_eps,
+    )[0]
+
+
+def fast_nospont_broadcast_batch(
+    network: Network,
+    source: int,
+    constants: ProtocolConstants,
+    rngs: Rngs,
+    *,
+    max_phases: Optional[int] = None,
+    budget_slack: int = 8,
+) -> list[BroadcastOutcome]:
+    """Batched vectorized ``NoSBroadcast`` (Theorem 1).
+
+    Phases run until every replication has informed every station or
+    ``max_phases`` elapse (default ``2 * ecc + slack``).  A replication
+    that completes stops participating (and stops consuming randomness)
+    at the next phase boundary; per-replication round counts reflect the
+    phase in which each finished.
+    """
     _check_source(network, source)
     n = network.size
-    informed = np.zeros(n, dtype=bool)
-    informed[source] = True
-    informed_round = np.full(n, NEVER_INFORMED, dtype=int)
-    informed_round[source] = 0
+    B = len(rngs)
+    schedule = ColoringSchedule(constants=constants, n=n)
+    part2 = constants.part2_rounds(n)
 
-    coloring = fast_coloring(
-        network, constants, rng,
-        informed=informed, informed_round=informed_round,
-    )
-    colors = np.where(np.isnan(coloring.colors), 0.0, coloring.colors)
-    logn = log2ceil(n)
-    diss_probs = np.minimum(1.0, colors * constants.dissemination / logn)
+    informed, informed_round = _source_state(B, n, source)
 
-    # Pilot round: the source transmits alone.
-    gains = network.gains
-    heard_from = resolve_reception(
-        gains, np.array([source]), network.params.noise, network.params.beta
-    )
-    pilot_round = coloring.rounds
-    newly = (heard_from != NO_SENDER) & ~informed
-    informed[newly] = True
-    informed_round[newly] = pilot_round
-
-    if round_budget is None:
+    if max_phases is None:
         depth = network.eccentricity(source) if n > 1 else 0
-        round_budget = budget_scale * (depth * logn + logn * logn)
+        max_phases = 2 * depth + budget_slack
 
-    def probs(_round_no: int, inf: np.ndarray) -> np.ndarray:
-        return np.where(inf, diss_probs, 0.0)
+    round_no = 0
+    phases_used = np.zeros(B, dtype=int)
+    total_rounds = np.zeros(B, dtype=int)
+    for _phase in range(max_phases):
+        running = ~informed.all(axis=1)
+        if not running.any():
+            break
+        phases_used[running] += 1
+        active = informed & running[:, None]  # fixed at the phase boundary
+        coloring = fast_coloring_batch(
+            network, constants, rngs,
+            participants=active,
+            informed=informed, informed_round=informed_round,
+            round_offset=round_no,
+            enabled=running,
+        )
+        round_no += coloring.rounds
+        colors = np.where(np.isnan(coloring.colors), 0.0, coloring.colors)
+        diss = dissemination_probs(colors, constants, n)
+        diss = np.where(active, diss, 0.0)
 
-    last = _dissemination_loop(
-        network, rng, informed, informed_round, probs,
-        pilot_round + 1, round_budget,
-    )
-    return _outcome(
-        "SBroadcast(fast)", informed_round, last,
-        {"coloring_rounds": coloring.rounds, "colors": colors},
+        def probs(_round_no: int, _inf: np.ndarray) -> np.ndarray:
+            # Only the stations active at the phase start disseminate.
+            return diss
+
+        last = dissemination_loop_batch(
+            network, rngs, informed, informed_round, probs,
+            round_no, part2, enabled=running,
+        )
+        round_no = round_no + part2
+        total_rounds[running] = np.where(
+            informed.all(axis=1)[running], last[running], round_no
+        )
+    return _outcomes(
+        "NoSBroadcast(fast)", informed_round, total_rounds,
+        lambda b: {
+            "phase_rounds": constants.phase_rounds(n),
+            "phases_used": int(phases_used[b]),
+        },
     )
 
 
@@ -151,67 +238,68 @@ def fast_nospont_broadcast(
     max_phases: Optional[int] = None,
     budget_slack: int = 8,
 ) -> BroadcastOutcome:
-    """Vectorized ``NoSBroadcast`` (Theorem 1).
-
-    Phases run until every station is informed or ``max_phases`` elapse
-    (default ``2 * ecc + slack``, matching the reference driver's budget).
-    """
+    """Vectorized ``NoSBroadcast`` (Theorem 1)."""
     if constants is None:
         constants = ProtocolConstants.practical()
     if rng is None:
         rng = np.random.default_rng(0)
-    _check_source(network, source)
-    n = network.size
-    schedule = ColoringSchedule(constants=constants, n=n)
-    logn = log2ceil(n)
-    part2 = constants.part2_rounds(n)
-
-    informed = np.zeros(n, dtype=bool)
-    informed[source] = True
-    informed_round = np.full(n, NEVER_INFORMED, dtype=int)
-    informed_round[source] = 0
-
-    if max_phases is None:
-        depth = network.eccentricity(source) if n > 1 else 0
-        max_phases = 2 * depth + budget_slack
-
-    round_no = 0
-    phases_used = 0
-    for _phase in range(max_phases):
-        if informed.all():
-            break
-        phases_used += 1
-        active = informed.copy()  # fixed at the phase boundary
-        coloring = fast_coloring(
-            network, constants, rng,
-            participants=active,
-            informed=informed, informed_round=informed_round,
-            round_offset=round_no,
-        )
-        round_no += coloring.rounds
-        colors = np.where(np.isnan(coloring.colors), 0.0, coloring.colors)
-        diss = np.minimum(1.0, colors * constants.dissemination / logn)
-        diss = np.where(active, diss, 0.0)
-
-        def probs(_round_no: int, _inf: np.ndarray) -> np.ndarray:
-            # Only the stations active at the phase start disseminate.
-            return diss
-
-        round_no = _dissemination_loop(
-            network, rng, informed, informed_round, probs, round_no, part2
-        )
-    return _outcome(
-        "NoSBroadcast(fast)", informed_round, round_no,
-        {
-            "phase_rounds": constants.phase_rounds(n),
-            "phases_used": phases_used,
-        },
-    )
+    return fast_nospont_broadcast_batch(
+        network, source, constants, [rng],
+        max_phases=max_phases, budget_slack=budget_slack,
+    )[0]
 
 
 # ----------------------------------------------------------------------
 # baselines
 # ----------------------------------------------------------------------
+def _flood_batch(
+    algorithm: str,
+    network: Network,
+    source: int,
+    rngs: Rngs,
+    prob_of_round: Callable[[int, np.ndarray], np.ndarray],
+    round_budget: int,
+    extras: Callable[[int], dict],
+) -> list[BroadcastOutcome]:
+    n = network.size
+    informed, informed_round = _source_state(len(rngs), n, source)
+    last = dissemination_loop_batch(
+        network, rngs, informed, informed_round, prob_of_round,
+        0, round_budget,
+    )
+    return _outcomes(algorithm, informed_round, last, extras)
+
+
+def fast_uniform_broadcast_batch(
+    network: Network,
+    source: int,
+    rngs: Rngs,
+    q: Optional[float] = None,
+    *,
+    round_budget: Optional[int] = None,
+    budget_scale: int = 64,
+) -> list[BroadcastOutcome]:
+    """Batched fixed-probability flooding (baseline)."""
+    _check_source(network, source)
+    if q is None:
+        q = 1.0 / max(1, network.max_degree)
+    if not 0 < q <= 1:
+        raise ProtocolError(f"q must be in (0, 1], got {q}")
+    if round_budget is None:
+        depth = network.eccentricity(source) if network.size > 1 else 0
+        round_budget = max(
+            64, budget_scale * (depth + 1) * max(1, int(1.0 / q))
+        )
+
+    def probs(_round_no: int, inf: np.ndarray) -> np.ndarray:
+        return np.where(inf, q, 0.0)
+
+    return _flood_batch(
+        "UniformFlood(fast)", network, source, rngs, probs, round_budget,
+        lambda b: {"q": q},
+    )
+
+
 def fast_uniform_broadcast(
     network: Network,
     source: int,
@@ -224,29 +312,42 @@ def fast_uniform_broadcast(
     """Vectorized fixed-probability flooding (baseline)."""
     if rng is None:
         rng = np.random.default_rng(0)
+    return fast_uniform_broadcast_batch(
+        network, source, [rng], q,
+        round_budget=round_budget, budget_scale=budget_scale,
+    )[0]
+
+
+def fast_decay_broadcast_batch(
+    network: Network,
+    source: int,
+    rngs: Rngs,
+    *,
+    ladder_len: Optional[int] = None,
+    round_budget: Optional[int] = None,
+    budget_scale: int = 96,
+) -> list[BroadcastOutcome]:
+    """Batched Decay sweep (the granularity-sensitive baseline)."""
     _check_source(network, source)
     n = network.size
-    if q is None:
-        q = 1.0 / max(1, network.max_degree)
-    if not 0 < q <= 1:
-        raise ProtocolError(f"q must be in (0, 1], got {q}")
-    informed = np.zeros(n, dtype=bool)
-    informed[source] = True
-    informed_round = np.full(n, NEVER_INFORMED, dtype=int)
-    informed_round[source] = 0
+    if ladder_len is None:
+        ladder_len = log2ceil(n) + 1
+    if ladder_len < 1:
+        raise ProtocolError(f"ladder length must be >= 1, got {ladder_len}")
     if round_budget is None:
         depth = network.eccentricity(source) if n > 1 else 0
         round_budget = max(
-            64, budget_scale * (depth + 1) * max(1, int(1.0 / q))
+            8 * ladder_len, budget_scale * (depth + 1) * ladder_len
         )
 
-    def probs(_round_no: int, inf: np.ndarray) -> np.ndarray:
-        return np.where(inf, q, 0.0)
+    def probs(round_no: int, inf: np.ndarray) -> np.ndarray:
+        rung = round_no % ladder_len
+        return np.where(inf, 2.0 ** (-rung), 0.0)
 
-    last = _dissemination_loop(
-        network, rng, informed, informed_round, probs, 0, round_budget
+    return _flood_batch(
+        "DecaySweep(fast)", network, source, rngs, probs, round_budget,
+        lambda b: {"ladder_len": ladder_len},
     )
-    return _outcome("UniformFlood(fast)", informed_round, last, {"q": q})
 
 
 def fast_decay_broadcast(
@@ -261,31 +362,40 @@ def fast_decay_broadcast(
     """Vectorized Decay sweep (the granularity-sensitive baseline)."""
     if rng is None:
         rng = np.random.default_rng(0)
+    return fast_decay_broadcast_batch(
+        network, source, [rng],
+        ladder_len=ladder_len, round_budget=round_budget,
+        budget_scale=budget_scale,
+    )[0]
+
+
+def fast_local_broadcast_global_batch(
+    network: Network,
+    source: int,
+    rngs: Rngs,
+    *,
+    round_budget: Optional[int] = None,
+    budget_slack: int = 8,
+    phase_scale: float = 2.0,
+) -> list[BroadcastOutcome]:
+    """Batched local-broadcast composition (``Delta``-paying baseline)."""
     _check_source(network, source)
     n = network.size
-    if ladder_len is None:
-        ladder_len = log2ceil(n) + 1
-    if ladder_len < 1:
-        raise ProtocolError(f"ladder length must be >= 1, got {ladder_len}")
-    informed = np.zeros(n, dtype=bool)
-    informed[source] = True
-    informed_round = np.full(n, NEVER_INFORMED, dtype=int)
-    informed_round[source] = 0
+    delta = max(1, network.max_degree)
+    q = 1.0 / (2.0 * delta)
+    logn = log2ceil(n)
+    phase_len = max(1, int(phase_scale * (delta + logn) * logn))
     if round_budget is None:
         depth = network.eccentricity(source) if n > 1 else 0
-        round_budget = max(
-            8 * ladder_len, budget_scale * (depth + 1) * ladder_len
-        )
+        round_budget = (2 * depth + budget_slack) * phase_len
 
-    def probs(round_no: int, inf: np.ndarray) -> np.ndarray:
-        rung = round_no % ladder_len
-        return np.where(inf, 2.0 ** (-rung), 0.0)
+    def probs(_round_no: int, inf: np.ndarray) -> np.ndarray:
+        return np.where(inf, q, 0.0)
 
-    last = _dissemination_loop(
-        network, rng, informed, informed_round, probs, 0, round_budget
-    )
-    return _outcome(
-        "DecaySweep(fast)", informed_round, last, {"ladder_len": ladder_len}
+    return _flood_batch(
+        "LocalBroadcastGlobal(fast)", network, source, rngs, probs,
+        round_budget,
+        lambda b: {"max_degree": delta, "phase_length": phase_len},
     )
 
 
@@ -301,27 +411,8 @@ def fast_local_broadcast_global(
     """Vectorized local-broadcast composition (``Delta``-paying baseline)."""
     if rng is None:
         rng = np.random.default_rng(0)
-    _check_source(network, source)
-    n = network.size
-    delta = max(1, network.max_degree)
-    q = 1.0 / (2.0 * delta)
-    logn = log2ceil(n)
-    phase_len = max(1, int(phase_scale * (delta + logn) * logn))
-    informed = np.zeros(n, dtype=bool)
-    informed[source] = True
-    informed_round = np.full(n, NEVER_INFORMED, dtype=int)
-    informed_round[source] = 0
-    if round_budget is None:
-        depth = network.eccentricity(source) if n > 1 else 0
-        round_budget = (2 * depth + budget_slack) * phase_len
-
-    def probs(_round_no: int, inf: np.ndarray) -> np.ndarray:
-        return np.where(inf, q, 0.0)
-
-    last = _dissemination_loop(
-        network, rng, informed, informed_round, probs, 0, round_budget
-    )
-    return _outcome(
-        "LocalBroadcastGlobal(fast)", informed_round, last,
-        {"max_degree": delta, "phase_length": phase_len},
-    )
+    return fast_local_broadcast_global_batch(
+        network, source, [rng],
+        round_budget=round_budget, budget_slack=budget_slack,
+        phase_scale=phase_scale,
+    )[0]

@@ -12,6 +12,8 @@ vectorized pass.
 
 from __future__ import annotations
 
+import weakref
+
 import numpy as np
 
 #: Sentinel in the sender array for "heard nothing this round".
@@ -46,6 +48,185 @@ def sinr_values(
     sinr = strongest_gain / (noise + interference)
     best_sender = transmitters[strongest_pos]
     return best_sender, sinr
+
+
+def sinr_values_batch(
+    gain: np.ndarray,
+    tx_mask: np.ndarray,
+    noise: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Best-transmitter SINR for ``B`` independent rounds at once.
+
+    The batched form of :func:`sinr_values`: replication ``b`` of the
+    batch has its own transmitter set ``tx_mask[b]`` but all replications
+    share one gain matrix (the sweep engine re-runs the same deployment
+    under different random seeds).
+
+    :param gain: shared ``(n, n)`` gain matrix.
+    :param tx_mask: ``(B, n)`` boolean transmitter mask.
+    :param noise: ambient noise ``N``.
+    :returns: ``(best_sender, sinr)``, both ``(B, n)``.  ``best_sender``
+        is :data:`NO_SENDER` where a replication has no transmitters; it
+        is only meaningful where the SINR clears the threshold (with an
+        all-zero gain column the argmax is arbitrary but the SINR is 0).
+    """
+    tx_mask = np.asarray(tx_mask, dtype=bool)
+    if tx_mask.ndim != 2 or tx_mask.shape[1] != gain.shape[0]:
+        raise ValueError(
+            f"tx_mask must be (B, {gain.shape[0]}), got {tx_mask.shape}"
+        )
+    strongest_pos, strongest_gain, total = _strongest_transmitters(
+        gain, tx_mask
+    )
+    sinr = strongest_gain / (noise + total - strongest_gain)
+    best_sender = np.where(
+        tx_mask.any(axis=1)[:, None], strongest_pos, NO_SENDER
+    )
+    return best_sender, sinr
+
+
+#: Per-gain-matrix listener rankings (see :func:`_listener_ranking`).
+_RANK_CACHE: dict[int, tuple] = {}
+_RANK_CACHE_LIMIT = 32
+
+#: Sentinel ORed onto ranking positions of silent stations: a power of
+#: two above every valid position, so ``pos | sentinel`` is monotone in
+#: ``pos`` and always sorts after every transmitter.
+_SENTINEL_16 = 2 ** 14
+_SENTINEL_32 = 2 ** 30
+
+
+def _listener_ranking(gain: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Each listener's senders ordered by (gain desc, index asc).
+
+    :returns: ``(rank, position)`` — ``rank[u, j]`` is listener ``u``'s
+        ``j``-th strongest sender, ``position[u, v]`` its inverse.  Both
+        derive from the gain matrix alone, so they are computed once per
+        matrix and cached (keyed by identity; gain matrices are built
+        once per `Network` and reused for every round).
+    """
+    key = id(gain)
+    entry = _RANK_CACHE.get(key)
+    if entry is not None and entry[0]() is gain:
+        return entry[1], entry[2]
+    n = gain.shape[0]
+    _RANK_CACHE.pop(key, None)  # id reuse after a matrix was collected
+    # Stable sort: equal gains rank by ascending sender index, matching
+    # argmax's first-occurrence tie-break.  Positions are kept in the
+    # narrowest dtype that fits n plus the sentinel — the ``(B, n, k)``
+    # position array is the round loop's main memory traffic.
+    dtype = np.int16 if n < _SENTINEL_16 else np.int32
+    rank = np.argsort(-gain, axis=0, kind="stable").T.astype(dtype)
+    position = np.empty_like(rank)
+    position[np.arange(n)[:, None], rank] = np.arange(n, dtype=dtype)
+    if len(_RANK_CACHE) >= _RANK_CACHE_LIMIT:
+        # Defensive bound; the weakref finalizers below normally keep the
+        # cache pruned to live gain matrices.
+        _RANK_CACHE.clear()
+    _RANK_CACHE[key] = (
+        weakref.ref(gain, lambda _ref, _key=key: _RANK_CACHE.pop(_key, None)),
+        rank,
+        position,
+    )
+    return rank, position
+
+
+def _strongest_transmitters(
+    gain: np.ndarray, tx_mask: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Strongest-transmitter position/gain and total power, per listener.
+
+    Work is restricted to the union of the batch's transmitters (rounds
+    are sparse under the protocols' Theta(1/mass) probabilities), and
+    each replication's arithmetic is bitwise independent of the batch it
+    rides in — the exact-equality contract of DESIGN.md §6.2:
+
+    * the interference total is an in-order ``einsum`` contraction along
+      ascending station index, for which absent transmitters are exact
+      ``+ 0.0`` no-ops — unlike a pairwise ``sum(axis=...)``, whose
+      regrouping could shift the last ulp;
+    * the strongest transmitter is the one earliest in the listener's
+      precomputed gain ranking, found as an integer ``min`` over ranking
+      positions with an ``n`` sentinel at non-transmitters — integer
+      ``min`` is exact, so sentinel padding is layout-neutral.
+    """
+    B, n = tx_mask.shape
+    cols = np.flatnonzero(tx_mask.any(axis=0))
+    if cols.size == 0:
+        zeros = np.zeros((B, n))
+        return np.zeros((B, n), dtype=np.intp), zeros, zeros
+    rank, position = _listener_ranking(gain)
+    tx_sub = tx_mask[:, cols]
+    total = np.einsum(
+        "bv,vu->bu", tx_sub.astype(float), gain[cols], optimize=False
+    )
+    dtype = position.dtype
+    sentinel = dtype.type(
+        _SENTINEL_16 if dtype == np.int16 else _SENTINEL_32
+    )
+    # masked[b, j, u]: ranking position of sender cols[j] at listener u,
+    # pushed past every real position when cols[j] is silent in b.  An
+    # OR with a high bit is monotone in the position, so the min still
+    # selects the transmitter earliest in the listener's ranking.
+    masked_pos = (
+        position[:, cols].T[None, :, :]
+        | ((~tx_sub)[:, :, None] * sentinel)
+    )
+    best_pos = masked_pos.min(axis=1)
+    valid = best_pos < sentinel
+    listeners = np.arange(n)[None, :]
+    strongest = rank[
+        listeners, np.where(valid, best_pos, 0)
+    ].astype(np.intp)
+    strongest_gain = np.where(valid, gain[strongest, listeners], 0.0)
+    return strongest, strongest_gain, total
+
+
+def resolve_reception_batch(
+    gain: np.ndarray,
+    tx_mask: np.ndarray,
+    noise: float,
+    beta: float,
+    max_elements: int = 1 << 22,
+) -> np.ndarray:
+    """Batched :func:`resolve_reception` over a ``(B, n)`` transmitter mask.
+
+    Agrees elementwise with running the single-instance resolver on each
+    row (ties between equal-gain transmitters break toward the lowest
+    station index in both) up to floating-point association in the
+    interference sum: the single resolver uses numpy's pairwise ``sum``
+    while this one folds in order, so an SINR landing within an ulp of
+    ``beta`` could in principle resolve differently.  *Within* the
+    batched family the arithmetic is exact — a row's result is bitwise
+    independent of the batch (and the slab slicing bounded by
+    ``max_elements``) it rides in, which is the contract the sweep
+    engine builds on (DESIGN.md §6.2).
+
+    :returns: ``(B, n)`` integer array of heard senders.
+    """
+    tx_mask = np.asarray(tx_mask, dtype=bool)
+    n = gain.shape[0]
+    B = tx_mask.shape[0]
+    slab = max(1, max_elements // max(1, n * n))
+    if B <= slab:
+        return _resolve_slab(gain, tx_mask, noise, beta)
+    heard = np.empty((B, n), dtype=np.intp)
+    for lo in range(0, B, slab):
+        heard[lo:lo + slab] = _resolve_slab(
+            gain, tx_mask[lo:lo + slab], noise, beta
+        )
+    return heard
+
+
+def _resolve_slab(
+    gain: np.ndarray, tx_mask: np.ndarray, noise: float, beta: float
+) -> np.ndarray:
+    strongest_pos, strongest_gain, total = _strongest_transmitters(
+        gain, tx_mask
+    )
+    sinr = strongest_gain / (noise + total - strongest_gain)
+    heard = (sinr >= beta) & ~tx_mask & tx_mask.any(axis=1)[:, None]
+    return np.where(heard, strongest_pos, NO_SENDER)
 
 
 def resolve_reception(

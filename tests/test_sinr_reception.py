@@ -12,7 +12,13 @@ from repro.errors import SimulationError
 from repro.geometry.metric import pairwise_distances
 from repro.sinr.gain import gain_matrix, interference_at, received_power
 from repro.sinr.params import SINRParameters
-from repro.sinr.reception import NO_SENDER, resolve_reception, sinr_values
+from repro.sinr.reception import (
+    NO_SENDER,
+    resolve_reception,
+    resolve_reception_batch,
+    sinr_values,
+    sinr_values_batch,
+)
 
 PARAMS = SINRParameters.default()  # alpha=3, beta=1, N=1, P=1*1... range 1
 
@@ -146,6 +152,103 @@ class TestResolveReception:
             if u in tx:
                 continue
             assert g[best[u], u] == pytest.approx(g[tx, u].max())
+
+
+class TestBatchedReception:
+    """The ``(B, n)`` resolver agrees elementwise with the single form."""
+
+    def _random_case(self, seed, n=20, B=8, density=0.25):
+        rng = np.random.default_rng(seed)
+        coords = rng.uniform(0, 2.5, size=(n, 2))
+        g = _gains(coords)
+        tx_mask = rng.random((B, n)) < density
+        return g, tx_mask
+
+    def test_matches_single_resolver_elementwise(self):
+        for seed in range(8):
+            g, tx_mask = self._random_case(seed)
+            batched = resolve_reception_batch(
+                g, tx_mask, PARAMS.noise, PARAMS.beta
+            )
+            for b in range(tx_mask.shape[0]):
+                single = resolve_reception(
+                    g, np.flatnonzero(tx_mask[b]), PARAMS.noise, PARAMS.beta
+                )
+                assert np.array_equal(batched[b], single), (seed, b)
+
+    def test_matches_on_equal_gain_ties(self):
+        # Symmetric geometry: equidistant transmitters have bitwise-equal
+        # gains, so the tie-break (lowest index) must match the single
+        # resolver exactly.
+        g = _gains([[0, 0], [1, 0], [2, 0], [3, 0]])
+        tx_mask = np.array(
+            [[True, False, False, True], [False, True, True, False]]
+        )
+        batched = resolve_reception_batch(g, tx_mask, PARAMS.noise, 0.4)
+        for b in range(2):
+            single = resolve_reception(
+                g, np.flatnonzero(tx_mask[b]), PARAMS.noise, 0.4
+            )
+            assert np.array_equal(batched[b], single)
+
+    def test_half_duplex_across_batch(self):
+        g, tx_mask = self._random_case(3, density=0.5)
+        heard = resolve_reception_batch(g, tx_mask, PARAMS.noise, PARAMS.beta)
+        assert np.all(heard[tx_mask] == NO_SENDER)
+
+    def test_empty_transmitter_rows(self):
+        g, tx_mask = self._random_case(4)
+        tx_mask[2] = False  # one replication with nobody transmitting
+        heard = resolve_reception_batch(g, tx_mask, PARAMS.noise, PARAMS.beta)
+        assert np.all(heard[2] == NO_SENDER)
+
+    def test_all_rows_empty(self):
+        g = _gains([[0, 0], [0.5, 0]])
+        tx_mask = np.zeros((3, 2), dtype=bool)
+        heard = resolve_reception_batch(g, tx_mask, PARAMS.noise, PARAMS.beta)
+        assert np.all(heard == NO_SENDER)
+
+    def test_heard_senders_transmit_in_own_replication(self):
+        # A replication must never hear a station that only transmits in
+        # *another* replication of the batch.
+        g, tx_mask = self._random_case(5, density=0.15)
+        heard = resolve_reception_batch(g, tx_mask, PARAMS.noise, PARAMS.beta)
+        for b in range(tx_mask.shape[0]):
+            for u in np.flatnonzero(heard[b] != NO_SENDER):
+                assert tx_mask[b, heard[b, u]]
+
+    def test_slab_chunking_is_bitwise_neutral(self):
+        g, tx_mask = self._random_case(6, n=12, B=16)
+        whole = resolve_reception_batch(g, tx_mask, PARAMS.noise, PARAMS.beta)
+        slabbed = resolve_reception_batch(
+            g, tx_mask, PARAMS.noise, PARAMS.beta, max_elements=12 * 12
+        )
+        assert np.array_equal(whole, slabbed)
+
+    def test_batch_size_is_bitwise_neutral(self):
+        # Rows resolved inside a batch equal the same rows resolved alone.
+        g, tx_mask = self._random_case(7)
+        whole = resolve_reception_batch(g, tx_mask, PARAMS.noise, PARAMS.beta)
+        for b in range(tx_mask.shape[0]):
+            alone = resolve_reception_batch(
+                g, tx_mask[b:b + 1], PARAMS.noise, PARAMS.beta
+            )[0]
+            assert np.array_equal(whole[b], alone)
+
+    def test_sinr_values_batch_match(self):
+        g, tx_mask = self._random_case(8, B=4)
+        best, sinr = sinr_values_batch(g, tx_mask, PARAMS.noise)
+        for b in range(4):
+            tx = np.flatnonzero(tx_mask[b])
+            sbest, ssinr = sinr_values(g, tx, PARAMS.noise)
+            keep = ssinr > 0
+            assert np.allclose(sinr[b][keep], ssinr[keep])
+            assert np.array_equal(best[b][keep], sbest[keep])
+
+    def test_rejects_bad_shape(self):
+        g = _gains([[0, 0], [0.5, 0]])
+        with pytest.raises(ValueError):
+            sinr_values_batch(g, np.zeros((2, 3), dtype=bool), PARAMS.noise)
 
 
 class TestSinrValues:

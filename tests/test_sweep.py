@@ -1,0 +1,191 @@
+"""Tests for the batched multi-seed sweep engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.constants import ProtocolConstants
+from repro.errors import ProtocolError
+from repro.fastsim import (
+    fast_consensus,
+    fast_coloring,
+    fast_leader_election,
+    fast_nospont_broadcast,
+    fast_spont_broadcast,
+    fast_uniform_broadcast,
+    fast_wakeup,
+    run_sweep,
+    spawn_rngs,
+    sweep_kinds,
+)
+from repro.fastsim.sweep import SWEEP_KINDS
+from repro.sim.wakeup import WakeupSchedule
+
+
+@pytest.fixture(scope="module")
+def constants():
+    return ProtocolConstants.practical()
+
+
+class TestSpawnRngs:
+    def test_matches_trial_rngs(self):
+        from repro.experiments.base import trial_rngs
+
+        a = [g.random(3) for g in spawn_rngs(4, seed=11)]
+        b = [g.random(3) for g in trial_rngs(4, seed=11)]
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+    def test_rejects_zero_replications(self):
+        with pytest.raises(ProtocolError):
+            spawn_rngs(0, seed=1)
+
+
+class TestRunSweepDispatch:
+    def test_kinds_listed(self):
+        kinds = sweep_kinds()
+        for expected in (
+            "coloring", "spont_broadcast", "nospont_broadcast",
+            "uniform_broadcast", "decay_broadcast", "local_broadcast",
+            "adhoc_wakeup", "colored_wakeup", "consensus",
+            "leader_election",
+        ):
+            assert expected in kinds
+
+    def test_unknown_kind(self, small_square):
+        with pytest.raises(ProtocolError):
+            run_sweep("teleportation", small_square, 2, 0)
+
+    def test_result_shape(self, small_square, constants):
+        result = run_sweep(
+            "spont_broadcast", small_square, 3, 7, constants, source=0
+        )
+        assert result.n_replications == 3
+        assert result.kind == "spont_broadcast"
+        assert result.seed == 7
+        assert result.batched
+        assert len(result.outcomes) == 3
+        assert result.rounds.shape == (3,)
+        assert 0.0 <= result.success_rate() <= 1.0
+
+    def test_mean_rounds_over_successes(self, small_square, constants):
+        result = run_sweep(
+            "uniform_broadcast", small_square, 3, 7, q=0.2, source=0
+        )
+        if result.success.any():
+            assert result.mean_rounds() == pytest.approx(
+                float(np.mean(result.rounds[result.success]))
+            )
+
+    def test_coloring_sweep_deterministic_rounds(self, small_square,
+                                                 constants):
+        result = run_sweep("coloring", small_square, 2, 3, constants)
+        assert np.all(result.success)
+        assert np.all(
+            result.rounds
+            == constants.coloring_total_rounds(small_square.size)
+        )
+
+    def test_reference_fallback(self, small_square, constants):
+        schedule = WakeupSchedule.single(small_square.size, 0)
+        result = run_sweep(
+            "adhoc_wakeup", small_square, 2, 5, constants,
+            schedule=schedule, use_batch=False,
+        )
+        assert not result.batched
+        assert result.success.all()
+
+    def test_fallback_requires_reference(self, small_square, constants):
+        assert SWEEP_KINDS["coloring"].reference is None
+        with pytest.raises(ProtocolError):
+            run_sweep(
+                "coloring", small_square, 2, 5, constants, use_batch=False
+            )
+
+
+class TestSweepEqualsSequentialLoop:
+    """Spot checks of the exact-equality contract (hypothesis tests in
+    ``test_hypothesis_sweep.py`` cover random deployments)."""
+
+    B = 4
+    SEED = 2014
+
+    def test_spont_broadcast(self, small_square, constants):
+        sweep = run_sweep(
+            "spont_broadcast", small_square, self.B, self.SEED,
+            constants, source=0,
+        )
+        for out, rng in zip(sweep.outcomes, spawn_rngs(self.B, self.SEED)):
+            single = fast_spont_broadcast(small_square, 0, constants, rng)
+            assert np.array_equal(out.informed_round, single.informed_round)
+            assert out.total_rounds == single.total_rounds
+            assert out.success == single.success
+
+    def test_nospont_broadcast(self, small_chain, constants):
+        # The phase loop is the only kernel mixing per-phase participant
+        # masks with per-replication retirement — keep it covered at B>1.
+        sweep = run_sweep(
+            "nospont_broadcast", small_chain, self.B, self.SEED,
+            constants, source=0,
+        )
+        for out, rng in zip(sweep.outcomes, spawn_rngs(self.B, self.SEED)):
+            single = fast_nospont_broadcast(small_chain, 0, constants, rng)
+            assert np.array_equal(out.informed_round, single.informed_round)
+            assert out.total_rounds == single.total_rounds
+            assert out.extras["phases_used"] == single.extras["phases_used"]
+
+    def test_uniform_broadcast(self, small_chain):
+        sweep = run_sweep(
+            "uniform_broadcast", small_chain, self.B, self.SEED,
+            q=0.3, source=0,
+        )
+        for out, rng in zip(sweep.outcomes, spawn_rngs(self.B, self.SEED)):
+            single = fast_uniform_broadcast(small_chain, 0, q=0.3, rng=rng)
+            assert np.array_equal(out.informed_round, single.informed_round)
+
+    def test_coloring(self, small_square, constants):
+        sweep = run_sweep("coloring", small_square, self.B, self.SEED,
+                          constants)
+        for res, rng in zip(sweep.outcomes, spawn_rngs(self.B, self.SEED)):
+            single = fast_coloring(small_square, constants, rng)
+            assert np.array_equal(res.quit_levels, single.quit_levels)
+            assert np.allclose(res.colors, single.colors, equal_nan=True)
+
+    def test_adhoc_wakeup(self, small_chain, constants):
+        schedule = WakeupSchedule.staggered(
+            small_chain.size, spread=40,
+            rng=np.random.default_rng(0), fraction=0.5,
+        )
+        sweep = run_sweep(
+            "adhoc_wakeup", small_chain, self.B, self.SEED, constants,
+            schedule=schedule,
+        )
+        for out, rng in zip(sweep.outcomes, spawn_rngs(self.B, self.SEED)):
+            single = fast_wakeup(small_chain, schedule, constants, rng)
+            assert np.array_equal(out.informed_round, single.informed_round)
+            assert out.total_rounds == single.total_rounds
+
+    @pytest.mark.slow
+    def test_consensus_with_drawn_values(self, small_chain, constants):
+        x_max = 7
+        sweep = run_sweep(
+            "consensus", small_chain, self.B, self.SEED, constants,
+            x_max=x_max,
+        )
+        for res, rng in zip(sweep.outcomes, spawn_rngs(self.B, self.SEED)):
+            values = rng.integers(0, x_max + 1, size=small_chain.size)
+            single = fast_consensus(
+                small_chain, values.tolist(), x_max, constants, rng
+            )
+            assert np.array_equal(res.decided, single.decided)
+            assert res.total_rounds == single.total_rounds
+            assert res.rounds_per_bit == single.rounds_per_bit
+
+    @pytest.mark.slow
+    def test_leader_election(self, small_chain, constants):
+        sweep = run_sweep(
+            "leader_election", small_chain, self.B, self.SEED, constants
+        )
+        for res, rng in zip(sweep.outcomes, spawn_rngs(self.B, self.SEED)):
+            single = fast_leader_election(small_chain, constants, rng)
+            assert res.leader == single.leader
+            assert np.array_equal(res.ids, single.ids)
+            assert res.total_rounds == single.total_rounds
