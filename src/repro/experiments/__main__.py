@@ -28,7 +28,34 @@ def main(argv: list[str] | None = None) -> int:
         "--markdown", metavar="PATH", default=None,
         help="additionally write the reports as a Markdown document",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes per grid sweep (1 = in-process; parallel "
+             "runs are result-identical to serial ones)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="PATH", default=".repro-cache",
+        help="grid result-cache directory (re-runs and quick->full "
+             "upgrades replay cached points)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk grid result cache",
+    )
     args = parser.parse_args(argv)
+
+    from repro.fastsim.grid import (
+        GridOptions,
+        last_grid_stats,
+        set_default_grid_options,
+    )
+
+    set_default_grid_options(
+        GridOptions(
+            jobs=args.jobs,
+            cache_dir=None if args.no_cache else args.cache_dir,
+        )
+    )
 
     ids = list_experiments() if args.experiment.lower() == "all" else [
         args.experiment
@@ -41,7 +68,16 @@ def main(argv: list[str] | None = None) -> int:
         elapsed = time.perf_counter() - started
         reports.append(report)
         print(report.render())
-        print(f"({elapsed:.1f}s)\n")
+        timing = f"({elapsed:.1f}s"
+        stats = last_grid_stats()
+        if stats["cached"]:
+            # Cache keys cover inputs, not code — a full replay after a
+            # simulation-code change is stale; surface it every run.
+            timing += (
+                f"; {stats['cached']}/{stats['points']} grid points "
+                f"from cache, --no-cache to recompute"
+            )
+        print(timing + ")\n")
     if args.markdown:
         from repro.experiments.summary import reports_to_markdown
 

@@ -69,6 +69,25 @@ def trial_rngs(
         yield np.random.default_rng(child)
 
 
+def run_grid_points(points, seed: int, name: str):
+    """Execute experiment points through the grid orchestrator.
+
+    The grid counterpart of :func:`sweep_trials`: the experiment declares
+    its parameter points as :class:`repro.fastsim.grid.GridPoint` entries
+    and this helper runs them through
+    :func:`repro.fastsim.grid.run_grid`, inheriting the process-wide
+    execution options (``--jobs``, ``--cache-dir``) the CLI installed.
+    Per-point seeds are spawned from ``seed`` unless a point pins one, so
+    no two points ever share (or arithmetically collide into) a seed.
+
+    :returns: list of :class:`repro.fastsim.grid.GridPointResult` in
+        point order.
+    """
+    from repro.fastsim.grid import GridSpec, run_grid
+
+    return run_grid(GridSpec(points=list(points), seed=seed, name=name))
+
+
 def sweep_trials(
     kind: str,
     network,

@@ -12,13 +12,24 @@ from __future__ import annotations
 from repro.analysis.fitting import fit_models, fit_two_term, growth_exponent
 from repro.core.constants import ProtocolConstants
 from repro.deploy import uniform_square
-from repro.experiments.base import ExperimentReport, check_scale, fmt, trial_rngs
-from repro.fastsim import fast_coloring
+from repro.experiments.base import (
+    ExperimentReport,
+    check_scale,
+    fmt,
+    run_grid_points,
+)
+from repro.fastsim.grid import GridPoint
 
 SWEEP = {
     "quick": [32, 64, 128, 256, 512],
     "full": [32, 64, 128, 256, 512, 1024, 2048],
 }
+
+
+def _deployment(n: int):
+    # Density held constant: side grows as sqrt(n).
+    side = max(1.0, (n / 16.0) ** 0.5)
+    return lambda rng: uniform_square(n=n, side=side, rng=rng)
 
 
 def run(scale: str = "quick", seed: int = 2014) -> ExperimentReport:
@@ -31,12 +42,23 @@ def run(scale: str = "quick", seed: int = 2014) -> ExperimentReport:
         headers=["n", "levels", "colors avail", "rounds", "rounds/log^2 n"],
     )
     ns = SWEEP[scale]
+    results = run_grid_points(
+        [
+            GridPoint(
+                kind="coloring",
+                deployment=_deployment(n),
+                n_replications=1,
+                label=f"n={n}",
+                constants=constants,
+            )
+            for n in ns
+        ],
+        seed,
+        "e01",
+    )
     rounds_series = []
-    for n, rng in zip(ns, trial_rngs(len(ns), seed)):
-        # Density held constant: side grows as sqrt(n).
-        side = max(1.0, (n / 16.0) ** 0.5)
-        net = uniform_square(n=n, side=side, rng=rng)
-        result = fast_coloring(net, constants, rng)
+    for n, res in zip(ns, results):
+        result = res.sweep.outcomes[0]
         rounds_series.append(result.rounds)
         logn = max(1, (n - 1).bit_length())
         report.rows.append(

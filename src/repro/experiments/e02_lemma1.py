@@ -8,14 +8,17 @@ lemma predicts a bound independent of ``n`` and of the deployment family
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.analysis.fitting import growth_exponent
 from repro.core.constants import ProtocolConstants
 from repro.core.properties import lemma1_max_color_mass
 from repro.deploy import clustered_chain, uniform_square
-from repro.experiments.base import ExperimentReport, check_scale, fmt, trial_rngs
-from repro.fastsim import fast_coloring
+from repro.experiments.base import (
+    ExperimentReport,
+    check_scale,
+    fmt,
+    run_grid_points,
+)
+from repro.fastsim.grid import GridPoint
 
 SWEEP = {
     "quick": [32, 64, 128, 256],
@@ -23,11 +26,23 @@ SWEEP = {
 }
 
 
-def _deployments(n: int, rng: np.random.Generator):
-    yield "uniform", uniform_square(n=n, side=max(1.0, (n / 16.0) ** 0.5), rng=rng)
-    yield "dense", uniform_square(n=n, side=2.0, rng=rng)
+def _families(n: int):
+    yield "uniform", lambda rng: uniform_square(
+        n=n, side=max(1.0, (n / 16.0) ** 0.5), rng=rng
+    )
+    yield "dense", lambda rng: uniform_square(n=n, side=2.0, rng=rng)
     per = max(2, n // 16)
-    yield "clusters", clustered_chain(16, per, 0.05, hop=0.55, rng=rng)
+    yield "clusters", lambda rng: clustered_chain(
+        16, per, 0.05, hop=0.55, rng=rng
+    )
+
+
+def _post(net, sweep):
+    result = sweep.outcomes[0]
+    return {
+        "mass": lemma1_max_color_mass(net, result),
+        "colors_used": len(result.distinct_colors()),
+    }
 
 
 def run(scale: str = "quick", seed: int = 2014) -> ExperimentReport:
@@ -40,15 +55,33 @@ def run(scale: str = "quick", seed: int = 2014) -> ExperimentReport:
         headers=["deployment", "n", "colors used", "max color mass"],
     )
     ns = SWEEP[scale]
-    by_family: dict[str, list[float]] = {}
-    for n, rng in zip(ns, trial_rngs(len(ns), seed)):
-        for name, net in _deployments(n, rng):
-            result = fast_coloring(net, constants, rng)
-            mass = lemma1_max_color_mass(net, result)
-            by_family.setdefault(name, []).append(mass)
-            report.rows.append(
-                [name, net.size, len(result.distinct_colors()), fmt(mass, 3)]
+    cells = [
+        (n, name, deployment)
+        for n in ns
+        for name, deployment in _families(n)
+    ]
+    results = run_grid_points(
+        [
+            GridPoint(
+                kind="coloring",
+                deployment=deployment,
+                n_replications=1,
+                label=f"{name}-{n}",
+                constants=constants,
+                post=_post,
             )
+            for n, name, deployment in cells
+        ],
+        seed,
+        "e02",
+    )
+    by_family: dict[str, list[float]] = {}
+    for (n, name, _), res in zip(cells, results):
+        mass = res.extras["mass"]
+        by_family.setdefault(name, []).append(mass)
+        report.rows.append(
+            [name, res.network.size, res.extras["colors_used"], fmt(mass, 3)]
+        )
     all_masses = [m for ms in by_family.values() for m in ms]
     report.metrics["max_mass"] = round(max(all_masses), 3)
     exponents = {

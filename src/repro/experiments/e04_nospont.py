@@ -23,8 +23,13 @@ from repro.analysis.fitting import (
 from repro.analysis.stats import aggregate_trials, success_rate
 from repro.core.constants import ProtocolConstants
 from repro.deploy import grid
-from repro.experiments.base import ExperimentReport, check_scale, fmt, trial_rngs
-from repro.fastsim import fast_nospont_broadcast
+from repro.experiments.base import (
+    ExperimentReport,
+    check_scale,
+    fmt,
+    run_grid_points,
+)
+from repro.fastsim.grid import GridPoint
 
 SWEEP = {
     "quick": {"shapes": [(2, 32), (4, 16), (8, 8)], "ks": [5, 7, 10], "trials": 3},
@@ -45,6 +50,71 @@ def fixed_extent_grid(k: int):
     return grid(k, k, spacing=EXTENT / (k - 1))
 
 
+def broadcast_points(kind: str, cfg: dict, constants) -> list[GridPoint]:
+    """The two E04/E05 sweeps as grid points (shared with E05: same
+    workloads, different protocol kind)."""
+    points = [
+        GridPoint(
+            kind=kind,
+            deployment=lambda rng, r=rows_, c=cols: grid(r, c, spacing=0.5),
+            n_replications=cfg["trials"],
+            label=f"grid-{rows_}x{cols}",
+            constants=constants,
+            kwargs={"source": 0},
+        )
+        for rows_, cols in cfg["shapes"]
+    ]
+    points.extend(
+        GridPoint(
+            kind=kind,
+            deployment=lambda rng, k=k: fixed_extent_grid(k),
+            n_replications=cfg["trials"],
+            label=f"fixed-extent {k}x{k}",
+            constants=constants,
+            kwargs={"source": 0},
+        )
+        for k in cfg["ks"]
+    )
+    return points
+
+
+def broadcast_report(report, cfg, results, bound_fn):
+    """Fill rows + fit metrics shared by E04/E05 from grid results."""
+    all_success = []
+    depth_series: list[tuple[int, float]] = []
+    size_series: list[tuple[int, float]] = []
+    n_shapes = len(cfg["shapes"])
+    for idx, res in enumerate(results):
+        net = res.network
+        depth = net.eccentricity(0)
+        succ = res.sweep.success.tolist()
+        all_success.extend(succ)
+        stats = aggregate_trials(res.sweep.successful_rounds())
+        bound = bound_fn(max(depth, 1), net.size)
+        report.rows.append(
+            [
+                res.point.label, net.size, depth, fmt(stats.mean),
+                fmt(stats.mean / bound, 2), fmt(success_rate(succ), 2),
+            ]
+        )
+        if idx < n_shapes:
+            depth_series.append((depth, stats.mean))
+        else:
+            size_series.append((net.size, stats.mean))
+    depths = [d for d, _ in depth_series]
+    means = [m for _, m in depth_series]
+    # At fixed n, rounds ~ slope * D + intercept: the affine-in-D shape.
+    slope, intercept, r2 = fit_two_term(depths, means, "n", "const")
+    report.metrics["depth_slope"] = round(slope, 1)
+    report.metrics["depth_affine_r2"] = round(r2, 4)
+    ns = [n for n, _ in size_series]
+    szm = [m for _, m in size_series]
+    size_exponent = growth_exponent(ns, szm)
+    report.metrics["size_growth_exponent"] = round(size_exponent, 3)
+    report.metrics["success_rate"] = success_rate(all_success)
+    return slope, intercept, r2, size_exponent
+
+
 def run(scale: str = "quick", seed: int = 2014) -> ExperimentReport:
     check_scale(scale)
     cfg = SWEEP[scale]
@@ -59,67 +129,17 @@ def run(scale: str = "quick", seed: int = 2014) -> ExperimentReport:
             "success",
         ],
     )
-    all_success = []
-
-    depth_series: list[tuple[int, float]] = []
-    for rows_, cols in cfg["shapes"]:
-        net = grid(rows_, cols, spacing=0.5)
-        depth = net.eccentricity(0)
-        rounds, succ = [], []
-        for rng in trial_rngs(cfg["trials"], seed + cols):
-            out = fast_nospont_broadcast(net, 0, constants, rng)
-            succ.append(out.success)
-            if out.success:
-                rounds.append(out.completion_round)
-        all_success.extend(succ)
-        stats = aggregate_trials(rounds)
-        bound = paper_bound_nospont(max(depth, 1), net.size)
-        report.rows.append(
-            [
-                f"grid-{rows_}x{cols}", net.size, depth, fmt(stats.mean),
-                fmt(stats.mean / bound, 2), fmt(success_rate(succ), 2),
-            ]
-        )
-        depth_series.append((depth, stats.mean))
-
-    size_series: list[tuple[int, float]] = []
-    for k in cfg["ks"]:
-        net = fixed_extent_grid(k)
-        n = net.size
-        depth = net.eccentricity(0)
-        rounds, succ = [], []
-        for rng in trial_rngs(cfg["trials"], seed + 1000 + n):
-            out = fast_nospont_broadcast(net, 0, constants, rng)
-            succ.append(out.success)
-            if out.success:
-                rounds.append(out.completion_round)
-        all_success.extend(succ)
-        stats = aggregate_trials(rounds)
-        bound = paper_bound_nospont(max(depth, 1), n)
-        report.rows.append(
-            [
-                f"fixed-extent {k}x{k}", n, depth, fmt(stats.mean),
-                fmt(stats.mean / bound, 2), fmt(success_rate(succ), 2),
-            ]
-        )
-        size_series.append((n, stats.mean))
-
-    depths = [d for d, _ in depth_series]
-    means = [m for _, m in depth_series]
-    # At fixed n, rounds ~ slope * D + intercept: the affine-in-D shape.
-    slope, intercept, r2 = fit_two_term(depths, means, "n", "const")
-    report.metrics["depth_slope"] = round(slope, 1)
-    report.metrics["depth_affine_r2"] = round(r2, 4)
-    ns = [n for n, _ in size_series]
-    szm = [m for _, m in size_series]
+    results = run_grid_points(
+        broadcast_points("nospont_broadcast", cfg, constants), seed, "e04"
+    )
     # At pinned diameter the bound allows only polylog growth in n; the
     # log-log slope (1.0 = linear) is the discriminating statistic —
     # depth jitter between grids keeps single-model fits from resolving
     # log^2 n against sqrt n on short sweeps, but linear growth (what any
     # Delta-paying algorithm shows here, cf. E08) is cleanly excluded.
-    size_exponent = growth_exponent(ns, szm)
-    report.metrics["size_growth_exponent"] = round(size_exponent, 3)
-    report.metrics["success_rate"] = success_rate(all_success)
+    slope, intercept, r2, size_exponent = broadcast_report(
+        report, cfg, results, paper_bound_nospont
+    )
     report.notes.append(
         f"fixed-n depth sweep: rounds ~ {slope:.0f} * D {intercept:+.0f} "
         f"(R^2={r2:.3f}; linear in D as Theorem 1 predicts); fixed-extent "

@@ -8,21 +8,14 @@ coloring dominates, giving the additive ``log^2 n``.
 
 from __future__ import annotations
 
-from repro.analysis.fitting import (
-    fit_two_term,
-    growth_exponent,
-    paper_bound_spont,
-)
-from repro.analysis.stats import aggregate_trials, success_rate
+from repro.analysis.fitting import paper_bound_spont
 from repro.core.constants import ProtocolConstants
-from repro.deploy import grid
 from repro.experiments.base import (
     ExperimentReport,
     check_scale,
-    fmt,
-    sweep_trials,
+    run_grid_points,
 )
-from repro.experiments.e04_nospont import fixed_extent_grid
+from repro.experiments.e04_nospont import broadcast_points, broadcast_report
 
 SWEEP = {
     "quick": {
@@ -52,64 +45,15 @@ def run(scale: str = "quick", seed: int = 2014) -> ExperimentReport:
             "rounds/(D log n + log^2 n)", "success",
         ],
     )
-    all_success = []
-
-    depth_series = []
-    for rows_, cols in cfg["shapes"]:
-        net = grid(rows_, cols, spacing=0.5)
-        depth = net.eccentricity(0)
-        sweep = sweep_trials(
-            "spont_broadcast", net, cfg["trials"], seed + cols,
-            constants, source=0,
-        )
-        succ = sweep.success.tolist()
-        all_success.extend(succ)
-        stats = aggregate_trials(sweep.successful_rounds())
-        bound = paper_bound_spont(max(depth, 1), net.size)
-        report.rows.append(
-            [
-                f"grid-{rows_}x{cols}", net.size, depth, fmt(stats.mean),
-                fmt(stats.mean / bound, 2), fmt(success_rate(succ), 2),
-            ]
-        )
-        depth_series.append((depth, stats.mean))
-
-    size_series = []
-    for k in cfg["ks"]:
-        net = fixed_extent_grid(k)
-        n = net.size
-        depth = net.eccentricity(0)
-        sweep = sweep_trials(
-            "spont_broadcast", net, cfg["trials"], seed + 1000 + n,
-            constants, source=0,
-        )
-        succ = sweep.success.tolist()
-        all_success.extend(succ)
-        stats = aggregate_trials(sweep.successful_rounds())
-        bound = paper_bound_spont(max(depth, 1), n)
-        report.rows.append(
-            [
-                f"fixed-extent {k}x{k}", n, depth, fmt(stats.mean),
-                fmt(stats.mean / bound, 2), fmt(success_rate(succ), 2),
-            ]
-        )
-        # At pinned depth the coloring term log^2 n dominates: fit raw.
-        size_series.append((n, stats.mean))
-
-    depths = [d for d, _ in depth_series]
-    means = [m for _, m in depth_series]
+    results = run_grid_points(
+        broadcast_points("spont_broadcast", cfg, constants), seed, "e05"
+    )
     # Fixed n: rounds ~ slope * D + intercept, with the intercept carrying
-    # the one-off log^2 n coloring and slope ~ the log n per-hop cost.
-    slope, intercept, r2 = fit_two_term(depths, means, "n", "const")
-    report.metrics["depth_slope"] = round(slope, 2)
-    report.metrics["depth_affine_r2"] = round(r2, 4)
-    ns = [n for n, _ in size_series]
-    szm = [m for _, m in size_series]
-    # See the E04 note: at pinned diameter only polylog growth is allowed;
-    # the log-log slope vs n is the discriminating statistic.
-    size_exponent = growth_exponent(ns, szm)
-    report.metrics["size_growth_exponent"] = round(size_exponent, 3)
-    report.metrics["success_rate"] = success_rate(all_success)
+    # the one-off log^2 n coloring and slope ~ the log n per-hop cost; at
+    # pinned depth the coloring term log^2 n dominates the size sweep.
+    slope, intercept, r2, size_exponent = broadcast_report(
+        report, cfg, results, paper_bound_spont
+    )
     report.notes.append(
         f"fixed-n depth sweep: rounds ~ {slope:.1f} * D {intercept:+.0f} "
         f"(R^2={r2:.3f}); slope is the Theta(log n) per-hop cost, the "

@@ -12,8 +12,13 @@ from __future__ import annotations
 from repro.analysis.stats import aggregate_trials
 from repro.core.constants import ProtocolConstants, log2ceil
 from repro.deploy import grid_chain
-from repro.experiments.base import ExperimentReport, check_scale, fmt, trial_rngs
-from repro.fastsim import fast_nospont_broadcast, fast_spont_broadcast
+from repro.experiments.base import (
+    ExperimentReport,
+    check_scale,
+    fmt,
+    run_grid_points,
+)
+from repro.fastsim.grid import GridPoint
 
 SWEEP = {
     "quick": {"lengths": [8, 16, 24], "trials": 3},
@@ -32,19 +37,36 @@ def run(scale: str = "quick", seed: int = 2014) -> ExperimentReport:
               "large-diameter networks",
         headers=["n", "depth", "NoS rounds", "S rounds", "ratio", "log n"],
     )
-    ratios = []
+    # Two points per chain — the two protocols on the *same* deployment
+    # (share_deployment), so the ratio compares like with like.
+    points = []
     for length in cfg["lengths"]:
-        net = grid_chain(length, width=2, spacing=0.5)
+        deployment = (
+            lambda rng, L=length: grid_chain(L, width=2, spacing=0.5)
+        )
+        for kind in ("nospont_broadcast", "spont_broadcast"):
+            points.append(
+                GridPoint(
+                    kind=kind,
+                    deployment=deployment,
+                    n_replications=cfg["trials"],
+                    label=f"{kind}-chain-{length}",
+                    constants=constants,
+                    kwargs={"source": 0},
+                    share_deployment=f"chain-{length}",
+                )
+            )
+    results = run_grid_points(points, seed, "e06")
+    ratios = []
+    for i, length in enumerate(cfg["lengths"]):
+        nos_res, spont_res = results[2 * i], results[2 * i + 1]
+        net = nos_res.network
         depth = net.eccentricity(0)
-        nos, spont = [], []
-        for rng in trial_rngs(cfg["trials"], seed + length):
-            a = fast_nospont_broadcast(net, 0, constants, rng)
-            b = fast_spont_broadcast(net, 0, constants, rng)
-            if a.success and b.success:
-                nos.append(a.completion_round)
-                spont.append(b.completion_round)
-        nos_stats = aggregate_trials(nos)
-        spont_stats = aggregate_trials(spont)
+        # Trials where both protocols completed, as in the original
+        # paired loop.
+        both = nos_res.sweep.success & spont_res.sweep.success
+        nos_stats = aggregate_trials(nos_res.sweep.rounds[both])
+        spont_stats = aggregate_trials(spont_res.sweep.rounds[both])
         ratio = nos_stats.mean / max(spont_stats.mean, 1.0)
         ratios.append(ratio)
         report.rows.append(

@@ -25,12 +25,13 @@ from repro.analysis.fitting import daum_bound, growth_exponent
 from repro.analysis.stats import aggregate_trials, success_rate
 from repro.core.constants import ProtocolConstants
 from repro.deploy import clustered_chain
-from repro.experiments.base import ExperimentReport, check_scale, fmt, trial_rngs
-from repro.fastsim import (
-    fast_decay_broadcast,
-    fast_spont_broadcast,
-    fast_uniform_broadcast,
+from repro.experiments.base import (
+    ExperimentReport,
+    check_scale,
+    fmt,
+    run_grid_points,
 )
+from repro.fastsim.grid import GridPoint
 
 SWEEP = {
     "quick": {"pers": [2, 4, 8], "spans": [2e-2, 2e-4, 2e-6], "trials": 3},
@@ -42,6 +43,9 @@ SWEEP = {
 }
 
 HOPS = 12
+
+#: The three measured algorithms per (per, span) cell, in row order.
+KINDS = ("spont_broadcast", "decay_broadcast", "uniform_broadcast")
 
 
 def run(scale: str = "quick", seed: int = 2014) -> ExperimentReport:
@@ -58,42 +62,51 @@ def run(scale: str = "quick", seed: int = 2014) -> ExperimentReport:
             "[5] bound", "SB success",
         ],
     )
-    rs_series, sb_series = [], []
-    trial_seed = seed
-    for per in cfg["pers"]:
-        for span in cfg["spans"]:
-            rng0 = next(iter(trial_rngs(1, trial_seed)))
-            net = clustered_chain(HOPS, per, span, hop=0.55, rng=rng0)
-            rs = net.granularity
-            depth = net.diameter
-            sb, dc, un, succ = [], [], [], []
-            for rng in trial_rngs(cfg["trials"], trial_seed):
-                a = fast_spont_broadcast(net, 0, constants, rng)
-                b = fast_decay_broadcast(net, 0, rng)
-                c = fast_uniform_broadcast(net, 0, rng=rng)
-                succ.append(a.success)
-                if a.success:
-                    sb.append(a.completion_round)
-                if b.success:
-                    dc.append(b.completion_round)
-                if c.success:
-                    un.append(c.completion_round)
-            trial_seed += 17
-            sb_mean = aggregate_trials(sb).mean if sb else float("nan")
-            report.rows.append(
-                [
-                    net.size,
-                    f"{rs:.1e}",
-                    fmt(sb_mean),
-                    fmt(aggregate_trials(dc).mean) if dc else "-",
-                    fmt(aggregate_trials(un).mean) if un else "-",
-                    f"{daum_bound(depth, net.size, rs, net.params.alpha):.1e}",
-                    fmt(success_rate(succ), 2),
-                ]
+    cells = [(per, span) for per in cfg["pers"] for span in cfg["spans"]]
+    points = []
+    for per, span in cells:
+        deployment = (
+            lambda rng, p=per, s=span: clustered_chain(
+                HOPS, p, s, hop=0.55, rng=rng
             )
-            if sb:
-                rs_series.append(rs)
-                sb_series.append(sb_mean)
+        )
+        points.extend(
+            GridPoint(
+                kind=kind,
+                deployment=deployment,
+                n_replications=cfg["trials"],
+                label=f"{kind}-per{per}-span{span:g}",
+                constants=constants if kind == "spont_broadcast" else None,
+                kwargs={"source": 0},
+                share_deployment=f"cc-{per}-{span!r}",
+            )
+            for kind in KINDS
+        )
+    results = run_grid_points(points, seed, "e07")
+    rs_series, sb_series = [], []
+    for c, (per, span) in enumerate(cells):
+        sb_res, dc_res, un_res = results[3 * c: 3 * c + 3]
+        net = sb_res.network
+        rs = net.granularity
+        depth = net.diameter
+        sb = sb_res.sweep.successful_rounds()
+        dc = dc_res.sweep.successful_rounds()
+        un = un_res.sweep.successful_rounds()
+        sb_mean = aggregate_trials(sb).mean if sb.size else float("nan")
+        report.rows.append(
+            [
+                net.size,
+                f"{rs:.1e}",
+                fmt(sb_mean),
+                fmt(aggregate_trials(dc).mean) if dc.size else "-",
+                fmt(aggregate_trials(un).mean) if un.size else "-",
+                f"{daum_bound(depth, net.size, rs, net.params.alpha):.1e}",
+                fmt(success_rate(sb_res.sweep.success.tolist()), 2),
+            ]
+        )
+        if sb.size:
+            rs_series.append(rs)
+            sb_series.append(sb_mean)
     exponent = growth_exponent(rs_series, sb_series)
     report.metrics["sb_vs_rs_exponent"] = round(exponent, 4)
     report.notes.append(

@@ -20,13 +20,16 @@ from repro.experiments.base import (
     ExperimentReport,
     check_scale,
     fmt,
-    sweep_trials,
-    trial_rngs,
+    run_grid_points,
 )
+from repro.fastsim.grid import GridPoint
 
+#: Trial counts raised from the pre-grid 3/5 — the batched sweep engine
+#: plus grid parallelism make replications cheap, and the Delta-growth
+#: exponents are far too noisy at 3 trials to discriminate reliably.
 SWEEP = {
-    "quick": {"ns": [32, 64, 128, 256], "trials": 3},
-    "full": {"ns": [32, 64, 128, 256, 512, 1024], "trials": 5},
+    "quick": {"ns": [32, 64, 128, 256], "trials": 6},
+    "full": {"ns": [32, 64, 128, 256, 512, 1024], "trials": 8},
 }
 
 SIDE = 2.5
@@ -46,21 +49,43 @@ def run(scale: str = "quick", seed: int = 2014) -> ExperimentReport:
             "SB success",
         ],
     )
+    # Both algorithms measured on the *same* deployment per n
+    # (share_deployment); per-point sweep seeds are spawned by the grid
+    # layer, replacing the collision-prone ``seed + n`` arithmetic.
+    points = []
+    for n in cfg["ns"]:
+        deployment = (
+            lambda rng, n=n: uniform_square(n=n, side=SIDE, rng=rng)
+        )
+        points.append(
+            GridPoint(
+                kind="spont_broadcast",
+                deployment=deployment,
+                n_replications=cfg["trials"],
+                label=f"sb-{n}",
+                constants=constants,
+                kwargs={"source": 0},
+                share_deployment=f"us-{n}",
+            )
+        )
+        points.append(
+            GridPoint(
+                kind="local_broadcast",
+                deployment=deployment,
+                n_replications=cfg["trials"],
+                label=f"lb-{n}",
+                kwargs={"source": 0},
+                share_deployment=f"us-{n}",
+            )
+        )
+    results = run_grid_points(points, seed, "e08")
     deltas, sb_means, lb_means = [], [], []
-    for n, rng0 in zip(cfg["ns"], trial_rngs(len(cfg["ns"]), seed)):
-        net = uniform_square(n=n, side=SIDE, rng=rng0)
-        delta = net.max_degree
-        sweep_sb = sweep_trials(
-            "spont_broadcast", net, cfg["trials"], seed + n,
-            constants, source=0,
-        )
-        sweep_lb = sweep_trials(
-            "local_broadcast", net, cfg["trials"], seed + 7000 + n,
-            source=0,
-        )
-        succ = (sweep_sb.success & sweep_lb.success).tolist()
-        sb_mean = aggregate_trials(sweep_sb.successful_rounds()).mean
-        lb_mean = aggregate_trials(sweep_lb.successful_rounds()).mean
+    for i, n in enumerate(cfg["ns"]):
+        sb_res, lb_res = results[2 * i], results[2 * i + 1]
+        delta = sb_res.network.max_degree
+        succ = (sb_res.sweep.success & lb_res.sweep.success).tolist()
+        sb_mean = aggregate_trials(sb_res.sweep.successful_rounds()).mean
+        lb_mean = aggregate_trials(lb_res.sweep.successful_rounds()).mean
         deltas.append(delta)
         sb_means.append(sb_mean)
         lb_means.append(lb_mean)

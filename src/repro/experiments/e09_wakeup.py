@@ -2,10 +2,11 @@
 
 An adversary staggers spontaneous wake-ups; the claim is that all
 stations are awake within ``O(D log^2 n)`` rounds of the *first*
-spontaneous wake-up, for every schedule.  Replication loops run through
-the batched sweep engine (``fast_adhoc_wakeup``), which is what allows
-more seeds per (workload, schedule) cell than the original
-reference-engine sweep.
+spontaneous wake-up, for every schedule.  Each (workload, schedule) cell
+is one grid point — the four schedules of a workload share the deployment
+and their schedules are ``Derived`` kwargs, built from the deployed
+network with the point's derive-rng, so serial and parallel execution see
+identical adversaries.
 """
 
 from __future__ import annotations
@@ -20,9 +21,9 @@ from repro.experiments.base import (
     ExperimentReport,
     check_scale,
     fmt,
-    sweep_trials,
-    trial_rngs,
+    run_grid_points,
 )
+from repro.fastsim.grid import Derived, GridPoint
 from repro.sim.wakeup import WakeupSchedule
 
 SWEEP = {
@@ -41,18 +42,32 @@ def _build(name: str, rng: np.random.Generator):
     return uniform_square(n=int(size), side=2.5, rng=rng)
 
 
-def _schedules(net, constants, rng):
-    n = net.size
-    phase = constants.phase_rounds(n)
-    yield "single", WakeupSchedule.single(n, 0)
-    yield "all-at-0", WakeupSchedule.all_at(n)
-    yield "staggered", WakeupSchedule.staggered(
-        n, spread=2 * phase, rng=rng, fraction=0.5
-    )
-    order = np.argsort(net.distances[0])  # far-from-station-0 wake last
-    yield "far-last", WakeupSchedule.adversarial_far_last(
-        n, spread=2 * phase, order=order
-    )
+def _schedule_builders(constants):
+    def single(net, rng):
+        return WakeupSchedule.single(net.size, 0)
+
+    def all_at_0(net, rng):
+        return WakeupSchedule.all_at(net.size)
+
+    def staggered(net, rng):
+        phase = constants.phase_rounds(net.size)
+        return WakeupSchedule.staggered(
+            net.size, spread=2 * phase, rng=rng, fraction=0.5
+        )
+
+    def far_last(net, rng):
+        phase = constants.phase_rounds(net.size)
+        order = np.argsort(net.distances[0])  # far-from-station-0 wake last
+        return WakeupSchedule.adversarial_far_last(
+            net.size, spread=2 * phase, order=order
+        )
+
+    return [
+        ("single", single),
+        ("all-at-0", all_at_0),
+        ("staggered", staggered),
+        ("far-last", far_last),
+    ]
 
 
 def run(scale: str = "quick", seed: int = 2014) -> ExperimentReport:
@@ -69,38 +84,50 @@ def run(scale: str = "quick", seed: int = 2014) -> ExperimentReport:
             "time/(D log^2 n)", "success",
         ],
     )
+    builders = _schedule_builders(constants)
+    cells = [
+        (wname, sname, builder)
+        for wname in cfg["workloads"]
+        for sname, builder in builders
+    ]
+    results = run_grid_points(
+        [
+            GridPoint(
+                kind="adhoc_wakeup",
+                deployment=lambda rng, w=wname: _build(w, rng),
+                n_replications=cfg["trials"],
+                label=f"{wname}/{sname}",
+                constants=constants,
+                kwargs={"schedule": Derived(builder)},
+                share_deployment=wname,
+            )
+            for wname, sname, builder in cells
+        ],
+        seed,
+        "e09",
+    )
     normalized = []
     all_success = []
-    for wname in cfg["workloads"]:
-        rng0 = next(iter(trial_rngs(1, seed)))
-        net = _build(wname, rng0)
+    for (wname, sname, _), res in zip(cells, results):
+        net = res.network
         depth = net.diameter
         bound = paper_bound_nospont(max(depth, 1), net.size)
-        for s_idx, (sname, schedule) in enumerate(
-            _schedules(net, constants, rng0)
-        ):
-            # Salted str hashes differ across processes; index the
-            # schedule instead so reruns see identical spawned seeds.
-            sweep = sweep_trials(
-                "adhoc_wakeup", net, cfg["trials"],
-                seed + 100 * (s_idx + 1), constants, schedule=schedule,
-            )
-            succ = sweep.success.tolist()
-            times = [
-                out.extras["wakeup_time"]
-                for out in sweep.outcomes
-                if out.success
+        succ = res.sweep.success.tolist()
+        times = [
+            out.extras["wakeup_time"]
+            for out in res.sweep.outcomes
+            if out.success
+        ]
+        all_success.extend(succ)
+        stats = aggregate_trials(times) if times else None
+        mean = stats.mean if stats else float("nan")
+        normalized.append(mean / bound)
+        report.rows.append(
+            [
+                wname, sname, net.size, fmt(mean),
+                fmt(mean / bound, 2), fmt(success_rate(succ), 2),
             ]
-            all_success.extend(succ)
-            stats = aggregate_trials(times) if times else None
-            mean = stats.mean if stats else float("nan")
-            normalized.append(mean / bound)
-            report.rows.append(
-                [
-                    wname, sname, net.size, fmt(mean),
-                    fmt(mean / bound, 2), fmt(success_rate(succ), 2),
-                ]
-            )
+        )
     report.metrics["success_rate"] = success_rate(all_success)
     report.metrics["max_normalized_time"] = round(max(normalized), 2)
     report.notes.append(

@@ -3,9 +3,9 @@
 The bitwise min-consensus runs one time-boxed colored wake-up per bit of
 the message space ``{0..x}``; total rounds should scale linearly with
 ``ceil(log2(x+1))`` at fixed network, and every trial must agree on the
-true minimum.  Replications run through the batched sweep engine
-(``fast_consensus``), cross-validated against the reference protocol in
-the test suite.
+true minimum.  All ``x`` points share one deployment (one shared-memory
+gain matrix under ``--jobs``); each replication draws its own value
+vector inside the sweep.
 """
 
 from __future__ import annotations
@@ -19,9 +19,9 @@ from repro.experiments.base import (
     ExperimentReport,
     check_scale,
     fmt,
-    sweep_trials,
-    trial_rngs,
+    run_grid_points,
 )
+from repro.fastsim.grid import GridPoint
 
 SWEEP = {
     "quick": {"n": 32, "xs": [3, 15, 255], "trials": 4},
@@ -40,20 +40,31 @@ def run(scale: str = "quick", seed: int = 2014) -> ExperimentReport:
               "linear in log x",
         headers=["x", "bits", "mean rounds", "rounds/bit", "agreed+correct"],
     )
-    rng0 = next(iter(trial_rngs(1, seed)))
-    net = uniform_square(n=cfg["n"], side=2.5, rng=rng0)
+    results = run_grid_points(
+        [
+            GridPoint(
+                kind="consensus",
+                deployment=lambda rng: uniform_square(
+                    n=cfg["n"], side=2.5, rng=rng
+                ),
+                n_replications=cfg["trials"],
+                label=f"x={x}",
+                constants=constants,
+                kwargs={"x_max": x},
+                share_deployment="net",
+            )
+            for x in cfg["xs"]
+        ],
+        seed,
+        "e10",
+    )
     bits_series, round_series = [], []
     all_ok = []
-    for x in cfg["xs"]:
+    for x, res in zip(cfg["xs"], results):
         bits = bits_for_range(x)
-        # Each replication draws its own value vector, then the sweep
-        # engine pushes every replication through all bit boxes at once.
-        sweep = sweep_trials(
-            "consensus", net, cfg["trials"], seed + x, constants, x_max=x,
-        )
-        ok = sweep.success.tolist()
+        ok = res.sweep.success.tolist()
         all_ok.extend(ok)
-        stats = aggregate_trials(sweep.rounds)
+        stats = aggregate_trials(res.sweep.rounds)
         bits_series.append(bits)
         round_series.append(stats.mean)
         report.rows.append(

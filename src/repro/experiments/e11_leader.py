@@ -3,9 +3,7 @@
 Random IDs from ``{1..n^3}`` plus consensus; every trial should end with
 all stations agreeing on one ID held by exactly one station, in
 ``O(D log^2 n + log^3 n)`` rounds (~``3 log n`` consensus bit boxes).
-Replications run through the batched sweep engine
-(``fast_leader_election``), cross-validated against the reference
-protocol in the test suite.
+One grid point per network size.
 """
 
 from __future__ import annotations
@@ -17,9 +15,9 @@ from repro.experiments.base import (
     ExperimentReport,
     check_scale,
     fmt,
-    sweep_trials,
-    trial_rngs,
+    run_grid_points,
 )
+from repro.fastsim.grid import GridPoint
 
 SWEEP = {
     "quick": {"ns": [16, 32], "trials": 4},
@@ -37,15 +35,27 @@ def run(scale: str = "quick", seed: int = 2014) -> ExperimentReport:
         claim="Sect. 5: unique leader whp in O(D log^2 n + log^3 n) rounds",
         headers=["n", "mean rounds", "rounds/log^3 n", "unique-leader rate"],
     )
+    results = run_grid_points(
+        [
+            GridPoint(
+                kind="leader_election",
+                deployment=lambda rng, n=n: uniform_square(
+                    n=n, side=2.0, rng=rng
+                ),
+                n_replications=cfg["trials"],
+                label=f"n={n}",
+                constants=constants,
+            )
+            for n in cfg["ns"]
+        ],
+        seed,
+        "e11",
+    )
     all_ok = []
-    for n, rng0 in zip(cfg["ns"], trial_rngs(len(cfg["ns"]), seed)):
-        net = uniform_square(n=n, side=2.0, rng=rng0)
-        sweep = sweep_trials(
-            "leader_election", net, cfg["trials"], seed + n, constants,
-        )
-        ok = sweep.success.tolist()
+    for n, res in zip(cfg["ns"], results):
+        ok = res.sweep.success.tolist()
         all_ok.extend(ok)
-        stats = aggregate_trials(sweep.rounds)
+        stats = aggregate_trials(res.sweep.rounds)
         logn = log2ceil(n)
         report.rows.append(
             [

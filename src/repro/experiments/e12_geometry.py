@@ -5,8 +5,12 @@ communication graph but different station positions inside their
 reachability balls (:func:`repro.deploy.perturb.same_graph_family`).
 The claim: broadcast cost is a function of the communication graph alone,
 so the per-member mean rounds across the family should differ only by
-sampling noise.  A control row measures the spread across *different*
+sampling noise.  Control rows measure the spread across *different*
 communication graphs of the same size for contrast.
+
+The family is constructed once (members must share one base), then every
+member and every control draw becomes a grid point; the sweeps run
+through :func:`repro.fastsim.grid.run_grid` on spawned seeds.
 """
 
 from __future__ import annotations
@@ -18,14 +22,20 @@ from repro.experiments.base import (
     ExperimentReport,
     check_scale,
     fmt,
-    sweep_trials,
+    run_grid_points,
     trial_rngs,
 )
+from repro.fastsim.grid import GridPoint
 
+#: Trial counts raised from the pre-grid 4/8: the spread statistics are
+#: sampling-noise bound, and the batched sweep engine plus grid
+#: parallelism make the extra replications cheap.
 SWEEP = {
-    "quick": {"n": 64, "scales": [0.02, 0.05], "trials": 4},
-    "full": {"n": 128, "scales": [0.02, 0.05, 0.1], "trials": 8},
+    "quick": {"n": 64, "scales": [0.02, 0.05], "trials": 12},
+    "full": {"n": 128, "scales": [0.02, 0.05, 0.1], "trials": 16},
 }
+
+N_CONTROLS = 3
 
 
 def run(scale: str = "quick", seed: int = 2014) -> ExperimentReport:
@@ -43,31 +53,48 @@ def run(scale: str = "quick", seed: int = 2014) -> ExperimentReport:
     base = uniform_square(n=cfg["n"], side=3.0, rng=rng0)
     family = same_graph_family(base, cfg["scales"], rng0)
 
-    member_means = []
-    for idx, member in enumerate(family):
-        label = "base" if idx == 0 else f"scale={cfg['scales'][idx - 1]}"
-        sweep = sweep_trials(
-            "spont_broadcast", member, cfg["trials"], seed + idx,
-            constants, source=0,
+    labels = ["base"] + [f"scale={s}" for s in cfg["scales"]]
+    points = [
+        GridPoint(
+            kind="spont_broadcast",
+            deployment=lambda rng, m=member: m,
+            n_replications=cfg["trials"],
+            label=label,
+            constants=constants,
+            kwargs={"source": 0},
         )
-        stats = aggregate_trials(sweep.successful_rounds())
+        for label, member in zip(labels, family)
+    ]
+    # Controls: different communication graphs of the same size/density,
+    # drawn from the points' own deploy rngs.
+    points.extend(
+        GridPoint(
+            kind="spont_broadcast",
+            deployment=lambda rng: uniform_square(
+                n=cfg["n"], side=3.0, rng=rng
+            ),
+            n_replications=cfg["trials"],
+            label=f"draw {k}",
+            constants=constants,
+            kwargs={"source": 0},
+        )
+        for k in range(N_CONTROLS)
+    )
+    results = run_grid_points(points, seed, "e12")
+
+    member_means = []
+    for res in results[: len(family)]:
+        stats = aggregate_trials(res.sweep.successful_rounds())
         member_means.append(stats.mean)
         report.rows.append(
-            ["same-graph", label, fmt(stats.mean), stats.count]
+            ["same-graph", res.point.label, fmt(stats.mean), stats.count]
         )
-
-    # Control: different communication graphs of the same size/density.
     control_means = []
-    for k, rng in enumerate(trial_rngs(3, seed + 999)):
-        other = uniform_square(n=cfg["n"], side=3.0, rng=rng)
-        sweep = sweep_trials(
-            "spont_broadcast", other, cfg["trials"], seed + 500 + k,
-            constants, source=0,
-        )
-        stats = aggregate_trials(sweep.successful_rounds())
+    for res in results[len(family):]:
+        stats = aggregate_trials(res.sweep.successful_rounds())
         control_means.append(stats.mean)
         report.rows.append(
-            ["control-graph", f"draw {k}", fmt(stats.mean), stats.count]
+            ["control-graph", res.point.label, fmt(stats.mean), stats.count]
         )
 
     family_spread = relative_spread(member_means)

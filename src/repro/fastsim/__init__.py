@@ -60,10 +60,28 @@ from repro.fastsim.leader import (
 )
 from repro.fastsim.engine import spawn_rngs
 from repro.fastsim.sweep import SweepResult, run_sweep, sweep_kinds
+from repro.fastsim.cache import ResultCache, point_key
+from repro.fastsim.grid import (
+    Derived,
+    GridOptions,
+    GridPoint,
+    GridPointResult,
+    GridSpec,
+    get_default_grid_options,
+    last_grid_stats,
+    run_grid,
+    set_default_grid_options,
+)
 
 __all__ = [
+    "Derived",
     "FastColoringBatch",
     "FastColoringResult",
+    "GridOptions",
+    "GridPoint",
+    "GridPointResult",
+    "GridSpec",
+    "ResultCache",
     "SweepResult",
     "VectorColoringState",
     "fast_adhoc_wakeup",
@@ -87,7 +105,12 @@ __all__ = [
     "fast_uniform_broadcast",
     "fast_uniform_broadcast_batch",
     "fast_wakeup",
+    "get_default_grid_options",
+    "last_grid_stats",
+    "point_key",
+    "run_grid",
     "run_sweep",
+    "set_default_grid_options",
     "spawn_rngs",
     "sweep_kinds",
 ]

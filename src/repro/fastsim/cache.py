@@ -1,0 +1,187 @@
+"""Content-addressed on-disk cache for grid-sweep results.
+
+A grid point is fully determined by *(protocol kind, deployment
+fingerprint, constants, seed, kwargs)* — see :func:`point_key` — so its
+:class:`~repro.fastsim.sweep.SweepResult` can be stored once and replayed
+on every re-run.  This is what makes ``python -m repro.experiments all``
+incremental: upgrading ``--scale quick`` to ``--scale full`` re-uses every
+point the quick sweep already computed, and repeated full runs are pure
+cache replays.
+
+Keys are SHA-256 digests of a canonical byte encoding
+(:func:`fingerprint_bytes`) of everything that determines a point's
+result.  Numpy arrays contribute shape + dtype + raw bytes; dataclasses
+contribute their type name and field values; generic objects (wake-up
+schedules, ...) contribute their type name and ``__dict__``.  Anything
+that changes the simulation — constants, deployment coordinates, SINR
+parameters, seeds, per-protocol kwargs — therefore changes the key, and
+stale entries are simply never addressed again (no invalidation protocol
+is needed for *input* changes; prune the directory to reclaim space).
+
+**Keys cover inputs, not code.**  Editing a simulation kernel or a
+``post`` hook's body does not change any key, so a populated cache will
+replay pre-change results.  The CLI surfaces every replay ("N/M grid
+points from cache") exactly so this is visible; after changing
+simulation code, pass ``--no-cache`` or clear the directory.  Bump
+:data:`CACHE_SCHEMA_VERSION` when the stored payload layout changes.
+
+Storage is one pickle file per key, written atomically (temp file +
+``os.replace``) so a crashed run never leaves a truncated entry a later
+run would trip over; unreadable entries degrade to misses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+#: Bump when the stored payload layout changes; old entries become
+#: unaddressable rather than mis-read.
+CACHE_SCHEMA_VERSION = 1
+
+
+def fingerprint_bytes(obj) -> bytes:
+    """Canonical byte encoding of ``obj`` for cache-key hashing.
+
+    Deterministic across processes and sessions (no ``id()``, no salted
+    hashes, no pickle memo effects) for the value types that appear in
+    grid points; unknown objects fall back to type name + ``__dict__``.
+    """
+    if obj is None or isinstance(obj, (bool, int, str, bytes)):
+        return f"{type(obj).__name__}:{obj!r};".encode()
+    if isinstance(obj, float):
+        # repr round-trips doubles exactly in python >= 3.1.
+        return f"float:{obj!r};".encode()
+    if isinstance(obj, np.generic):
+        return fingerprint_bytes(obj.item())
+    if isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        head = f"ndarray:{arr.shape}:{arr.dtype.str};".encode()
+        return head + arr.tobytes()
+    if isinstance(obj, np.random.SeedSequence):
+        return (
+            f"seedseq:{obj.entropy!r}:{tuple(obj.spawn_key)!r};".encode()
+        )
+    if isinstance(obj, (tuple, list)):
+        parts = b"".join(fingerprint_bytes(v) for v in obj)
+        return f"{type(obj).__name__}[".encode() + parts + b"];"
+    if isinstance(obj, dict):
+        parts = b"".join(
+            fingerprint_bytes(k) + fingerprint_bytes(v)
+            for k, v in sorted(obj.items(), key=lambda kv: repr(kv[0]))
+        )
+        return b"dict{" + parts + b"};"
+    fp = getattr(obj, "fingerprint", None)
+    if callable(fp):
+        return f"fp:{type(obj).__name__}:{fp()};".encode()
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        parts = b"".join(
+            fingerprint_bytes(f.name)
+            + fingerprint_bytes(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        )
+        return f"dc:{type(obj).__name__}(".encode() + parts + b");"
+    state = getattr(obj, "__dict__", None)
+    if state is not None:
+        return f"obj:{type(obj).__name__}(".encode() + fingerprint_bytes(
+            dict(state)
+        ) + b");"
+    raise TypeError(
+        f"cannot fingerprint {type(obj).__name__!r} for the result cache"
+    )
+
+
+def digest(obj) -> str:
+    """SHA-256 hex digest of the canonical encoding of ``obj``."""
+    return hashlib.sha256(fingerprint_bytes(obj)).hexdigest()
+
+
+def point_key(
+    kind: str,
+    network_fingerprint: str,
+    constants,
+    seed,
+    n_replications: int,
+    kwargs: dict,
+    use_batch: bool = True,
+    post_name: str = "",
+) -> str:
+    """Cache key of one grid point — the tuple the ISSUE of record names:
+    *(kind, deployment fingerprint, constants, seed, kwargs)*, plus the
+    replication count, the batch/reference switch and the identity of the
+    point's post-processing hook (its extras are stored alongside the
+    sweep, so a renamed hook must not replay stale extras).
+    """
+    return digest(
+        {
+            "schema": CACHE_SCHEMA_VERSION,
+            "kind": kind,
+            "network": network_fingerprint,
+            "constants": constants,
+            "seed": seed,
+            "n_replications": n_replications,
+            "kwargs": kwargs,
+            "use_batch": use_batch,
+            "post": post_name,
+        }
+    )
+
+
+class ResultCache:
+    """One directory of content-addressed grid-point results.
+
+    :param root: cache directory (created on first write).
+    """
+
+    def __init__(self, root: "str | os.PathLike"):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[tuple]:
+        """Stored ``(sweep, extras)`` payload, or ``None`` on a miss.
+
+        Corrupt or unreadable entries count as misses — the caller
+        recomputes and overwrites them.
+        """
+        try:
+            with open(self._path(key), "rb") as handle:
+                payload = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: tuple) -> None:
+        """Atomically store ``(sweep, extras)`` under ``key``."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.root, prefix=f".{key[:16]}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.pkl"))

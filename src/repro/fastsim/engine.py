@@ -45,19 +45,28 @@ DRAW_CHUNK: int = 16
 
 
 def spawn_rngs(
-    n_replications: int, seed: int
+    n_replications: int, seed: "int | np.random.SeedSequence"
 ) -> list[np.random.Generator]:
     """One independent generator per replication, spawned from ``seed``.
 
     Identical spawning discipline to ``repro.experiments.base.trial_rngs``:
     replication ``b`` of a batched sweep gets the same stream as trial
     ``b`` of a sequential experiment loop with the same master seed.
+
+    ``seed`` may also be a ``numpy.random.SeedSequence`` (the grid layer
+    hands every sweep a child sequence spawned from the grid's master
+    seed, DESIGN.md §6.3); the sequence must be fresh — spawning from an
+    already-spawned sequence yields different children.
     """
     if n_replications < 1:
         raise ProtocolError(
             f"need at least one replication, got {n_replications}"
         )
-    seq = np.random.SeedSequence(seed)
+    seq = (
+        seed
+        if isinstance(seed, np.random.SeedSequence)
+        else np.random.SeedSequence(seed)
+    )
     return [np.random.default_rng(child) for child in seq.spawn(n_replications)]
 
 

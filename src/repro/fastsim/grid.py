@@ -1,0 +1,491 @@
+"""Parallel grid-sweep orchestration over the batched sweep engine.
+
+The sweep engine (:mod:`repro.fastsim.sweep`) made the *replication* axis
+batch-first; this module does the same for the *grid* axis.  Every
+experiment is a family of parameter points — (deployment, protocol kind,
+kwargs) — and those points are embarrassingly parallel, so they are
+declared as data (:class:`GridSpec`) and executed by :func:`run_grid`:
+
+* **seed spawning** — point ``i`` of a grid with master seed ``s`` draws
+  its (deployment, derived-kwargs, sweep) seeds from
+  ``SeedSequence(s).spawn(P)[i].spawn(3)``.  Seeds are fixed *before*
+  execution and carried by the point, so ``jobs=1`` and ``jobs=N`` runs
+  are result-identical bit for bit, and no two points can collide the way
+  ad hoc ``seed + n`` arithmetic could.
+* **process fan-out** — pending points run on a
+  ``concurrent.futures.ProcessPoolExecutor`` with the ``fork`` start
+  method.  The spec (closures included) reaches workers through fork
+  inheritance; the only objects pickled are point indices going in and
+  :class:`~repro.fastsim.sweep.SweepResult` payloads coming out.
+* **shared-memory gain matrices** — the dense ``(n, n)`` gain matrix of
+  each distinct deployment is materialized exactly once, into a
+  ``multiprocessing.shared_memory`` segment created by the parent;
+  workers attach by name and install a read-only view on their
+  reconstructed :class:`~repro.network.network.Network`.  Dense arrays
+  are never pickled.  The parent owns segment lifetime: created before
+  dispatch, unlinked in a ``finally`` once every point has reported.
+* **result cache** — with a cache directory configured, each point's
+  result is stored content-addressed under
+  :func:`repro.fastsim.cache.point_key`; re-runs (and ``--scale full``
+  upgrades that share points with an earlier quick run) replay hits
+  without touching the worker pool.
+
+DESIGN.md §6.3 records the contracts; ``benchmarks/bench_grid.py`` tracks
+the speedup and asserts parallel/serial result identity.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from multiprocessing import shared_memory
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.constants import ProtocolConstants
+from repro.errors import ProtocolError
+from repro.fastsim.cache import ResultCache, point_key
+from repro.fastsim.sweep import SweepResult, run_sweep
+from repro.network.network import Network
+from repro.sinr.gain import gain_matrix
+
+
+@dataclass(frozen=True)
+class Derived:
+    """A protocol kwarg computed from the deployed network.
+
+    Some kwargs cannot be written down before the deployment exists (an
+    adversarial wake-up schedule needs the station positions).  Wrapping
+    ``fn(network, rng)`` in ``Derived`` defers them: the parent resolves
+    every derived kwarg right after building the point's deployment,
+    using the point's derive-rng, so resolved values are identical across
+    serial and parallel execution and participate in the cache key.
+    """
+
+    fn: Callable[[Network, np.random.Generator], object]
+
+
+@dataclass
+class GridPoint:
+    """One point of a grid sweep: a deployment, a protocol, its kwargs.
+
+    :param kind: protocol kind, one of
+        :func:`repro.fastsim.sweep.sweep_kinds`.
+    :param deployment: factory ``rng -> Network``; deterministic factories
+        may ignore the rng.
+    :param n_replications: replications of the point's sweep.
+    :param label: display label used in reports.
+    :param constants: protocol constants (``None`` = practical defaults,
+        resolved by ``run_sweep``).
+    :param kwargs: protocol kwargs; values may be :class:`Derived`.
+    :param post: optional ``(network, sweep) -> dict`` hook, executed
+        where the sweep ran (i.e. inside the worker), so per-point
+        analysis parallelizes with the simulation; its dict lands in
+        :attr:`GridPointResult.extras` and is cached with the sweep.
+    :param seed: pinned sweep master seed.  ``None`` (the default) means
+        the grid derives the seed by spawning — the collision-free
+        discipline; pin only where existing tests rely on exact values.
+    :param share_deployment: points carrying the same non-``None`` key
+        share one deployment instance (built once, with the derive
+        discipline of the first such point), one fingerprint and one
+        shared-memory segment — e.g. several protocols compared on the
+        same random network.
+    :param use_batch: forwarded to ``run_sweep``.
+    """
+
+    kind: str
+    deployment: Callable[[np.random.Generator], Network]
+    n_replications: int
+    label: str = ""
+    constants: Optional[ProtocolConstants] = None
+    kwargs: dict = field(default_factory=dict)
+    post: Optional[Callable[[Network, SweepResult], dict]] = None
+    seed: Optional[int] = None
+    share_deployment: Optional[str] = None
+    use_batch: bool = True
+
+
+@dataclass
+class GridSpec:
+    """A declarative grid sweep: the points plus the master seed."""
+
+    points: list
+    seed: int
+    name: str = "grid"
+
+
+@dataclass
+class GridPointResult:
+    """Outcome of one grid point.
+
+    :param point: the spec entry this result answers.
+    :param network: the point's deployment (parent-side instance; its
+        lazy caches are independent of any worker state).
+    :param sweep: the point's :class:`SweepResult`.
+    :param extras: output of the point's ``post`` hook (``{}`` if none).
+    :param cached: whether the result was replayed from the on-disk cache.
+    """
+
+    point: GridPoint
+    network: Network
+    sweep: SweepResult
+    extras: dict = field(default_factory=dict)
+    cached: bool = False
+
+
+@dataclass
+class GridOptions:
+    """Execution knobs for :func:`run_grid`, settable process-wide.
+
+    :param jobs: worker processes (``<= 1`` = run in-process).
+    :param cache_dir: result-cache directory (``None`` = caching off).
+    """
+
+    jobs: int = 1
+    cache_dir: Optional[str] = None
+
+
+_DEFAULT_OPTIONS = GridOptions()
+
+
+def set_default_grid_options(options: GridOptions) -> None:
+    """Install process-wide defaults (the CLI's ``--jobs``/``--cache-dir``
+    land here; experiment modules call :func:`run_grid` with no options
+    and inherit them)."""
+    global _DEFAULT_OPTIONS
+    _DEFAULT_OPTIONS = options
+
+
+def get_default_grid_options() -> GridOptions:
+    return _DEFAULT_OPTIONS
+
+
+# ----------------------------------------------------------------------
+# preparation (parent side)
+# ----------------------------------------------------------------------
+@dataclass
+class _Prepared:
+    """A point with its deployment built, kwargs resolved, seed fixed."""
+
+    point: GridPoint
+    network: Network
+    dep_index: int
+    kwargs: dict
+    seed: "int | np.random.SeedSequence"
+    key: str = ""
+
+
+def _post_name(post) -> str:
+    if post is None:
+        return ""
+    return f"{getattr(post, '__module__', '?')}.{getattr(post, '__qualname__', repr(post))}"
+
+
+def _prepare(spec: GridSpec) -> tuple[list[_Prepared], list[Network]]:
+    """Build deployments, resolve kwargs and fix seeds for every point.
+
+    Deployment sharing: points with equal ``share_deployment`` keys get
+    the network built for the first of them; distinct deployments are
+    deduplicated by fingerprint as well, so the shared-memory registry
+    holds at most one segment per distinct gain matrix.
+    """
+    points = list(spec.points)
+    if not points:
+        raise ProtocolError(f"grid {spec.name!r} has no points")
+    point_seqs = np.random.SeedSequence(spec.seed).spawn(len(points))
+    shared: dict[str, Network] = {}
+    deployments: list[Network] = []
+    dep_index: dict[str, int] = {}
+    prepared: list[_Prepared] = []
+    for point, pseq in zip(points, point_seqs):
+        deploy_seq, derive_seq, sweep_seq = pseq.spawn(3)
+        group = point.share_deployment
+        if group is not None and group in shared:
+            net = shared[group]
+        else:
+            net = point.deployment(np.random.default_rng(deploy_seq))
+            if not isinstance(net, Network):
+                raise ProtocolError(
+                    f"deployment factory of point {point.label!r} returned "
+                    f"{type(net).__name__}, expected Network"
+                )
+            if group is not None:
+                shared[group] = net
+        fingerprint = net.fingerprint()
+        if fingerprint not in dep_index:
+            dep_index[fingerprint] = len(deployments)
+            deployments.append(net)
+        derive_rng = np.random.default_rng(derive_seq)
+        kwargs = {
+            k: (v.fn(net, derive_rng) if isinstance(v, Derived) else v)
+            for k, v in point.kwargs.items()
+        }
+        seed = point.seed if point.seed is not None else sweep_seq
+        prepared.append(
+            _Prepared(
+                point=point,
+                network=net,
+                dep_index=dep_index[fingerprint],
+                kwargs=kwargs,
+                seed=seed,
+            )
+        )
+    for prep in prepared:
+        prep.key = point_key(
+            kind=prep.point.kind,
+            network_fingerprint=prep.network.fingerprint(),
+            constants=prep.point.constants,
+            seed=prep.seed,
+            n_replications=prep.point.n_replications,
+            kwargs=prep.kwargs,
+            use_batch=prep.point.use_batch,
+            post_name=_post_name(prep.point.post),
+        )
+    return prepared, deployments
+
+
+def _execute(prep: _Prepared, network: Network) -> tuple[SweepResult, dict]:
+    """Run one prepared point on ``network`` (worker or in-process)."""
+    sweep = run_sweep(
+        prep.point.kind,
+        network,
+        prep.point.n_replications,
+        prep.seed,
+        prep.point.constants,
+        use_batch=prep.point.use_batch,
+        **prep.kwargs,
+    )
+    extras = prep.point.post(network, sweep) if prep.point.post else {}
+    return sweep, extras
+
+
+# ----------------------------------------------------------------------
+# the fork worker protocol
+# ----------------------------------------------------------------------
+#: Set by the parent immediately before pool creation; workers inherit it
+#: through ``fork`` (nothing here is ever pickled).  Layout:
+#: ``(prepared, [(shm_name, shape, dtype_str, coords, params, metric,
+#: name), ...])``.
+_FORK_PAYLOAD: Optional[tuple] = None
+
+#: Worker-local registry of attached segments: dep_index -> (shm, Network).
+_WORKER_NETS: dict[int, tuple] = {}
+
+
+def _attach_network(dep_index: int) -> Network:
+    """Worker-side Network with its gain matrix mapped from shared memory.
+
+    The Network is rebuilt from the (small) coordinates and parameters;
+    the dense gain matrix is a read-only zero-copy view into the parent's
+    segment.  Attachments are kept for the worker's lifetime (a worker
+    typically runs several points of the same deployment) and released by
+    process exit; the parent is the sole owner of segment unlinking.
+    """
+    cached = _WORKER_NETS.get(dep_index)
+    if cached is not None:
+        return cached[1]
+    _, segments = _FORK_PAYLOAD
+    shm_name, shape, dtype_str, coords, params, metric, name = segments[
+        dep_index
+    ]
+    # NOTE on the resource tracker: fork workers share the parent's
+    # tracker process, and its registry is a set — the attach here
+    # re-registers the same name the parent registered at creation, so
+    # exactly one unregister happens when the parent unlinks.  No
+    # worker-side bookkeeping is needed (or correct).
+    shm = shared_memory.SharedMemory(name=shm_name)
+    gains = np.ndarray(shape, dtype=np.dtype(dtype_str), buffer=shm.buf)
+    gains.setflags(write=False)
+    net = Network(coords, params=params, metric=metric, name=name)
+    net._gain = gains
+    _WORKER_NETS[dep_index] = (shm, net)
+    return net
+
+
+def _worker_run(index: int) -> tuple[int, SweepResult, dict]:
+    prepared, _ = _FORK_PAYLOAD
+    prep = prepared[index]
+    sweep, extras = _execute(prep, _attach_network(prep.dep_index))
+    return index, sweep, extras
+
+
+def _create_segment(net: Network) -> tuple[shared_memory.SharedMemory, tuple]:
+    """Materialize ``net``'s gain matrix into a fresh shm segment.
+
+    The parent's Network keeps its lazy ``gains`` untouched — the segment
+    holds the only live dense copy, and no view into it is left dangling
+    on the parent side (the fill view dies inside this function), so
+    unlinking after the run can never invalidate a returned result.
+    """
+    if net._gain is not None:
+        source = net._gain
+    else:
+        source = gain_matrix(
+            net.distances, net.params.power, net.params.alpha
+        )
+    shm = shared_memory.SharedMemory(create=True, size=source.nbytes)
+    view = np.ndarray(source.shape, dtype=source.dtype, buffer=shm.buf)
+    view[:] = source
+    descriptor = (
+        shm.name,
+        source.shape,
+        source.dtype.str,
+        np.asarray(net.coords),
+        net.params,
+        net.metric,
+        net.name,
+    )
+    del view
+    return shm, descriptor
+
+
+def _fork_available() -> bool:
+    try:
+        import multiprocessing
+
+        return "fork" in multiprocessing.get_all_start_methods()
+    except Exception:
+        return False
+
+
+# ----------------------------------------------------------------------
+# the orchestrator
+# ----------------------------------------------------------------------
+def run_grid(
+    spec: GridSpec,
+    *,
+    jobs: Optional[int] = None,
+    cache_dir: "Optional[str | os.PathLike]" = None,
+    cache: Optional[bool] = None,
+) -> list[GridPointResult]:
+    """Execute a :class:`GridSpec`; results in point order.
+
+    Parameters default to the process-wide :class:`GridOptions` (see
+    :func:`set_default_grid_options`); pass ``cache=False`` to bypass a
+    configured cache for one call.  Execution is result-identical across
+    ``jobs`` values and cache states: seeds are fixed at preparation time
+    and cached payloads are the pickled originals.
+    """
+    options = get_default_grid_options()
+    jobs = options.jobs if jobs is None else jobs
+    cache_dir = options.cache_dir if cache_dir is None else cache_dir
+    use_cache = (cache_dir is not None) if cache is None else (
+        cache and cache_dir is not None
+    )
+
+    prepared, deployments = _prepare(spec)
+    store = ResultCache(cache_dir) if use_cache else None
+
+    results: list[Optional[GridPointResult]] = [None] * len(prepared)
+    pending: list[int] = []
+    for i, prep in enumerate(prepared):
+        hit = store.get(prep.key) if store is not None else None
+        if hit is not None:
+            sweep, extras = hit
+            results[i] = GridPointResult(
+                point=prep.point,
+                network=prep.network,
+                sweep=sweep,
+                extras=extras,
+                cached=True,
+            )
+        else:
+            pending.append(i)
+
+    def finish(i: int, sweep: SweepResult, extras: dict) -> None:
+        # Called per point as it completes (both paths), so an interrupt
+        # or a failing later point never discards cached work.
+        prep = prepared[i]
+        results[i] = GridPointResult(
+            point=prep.point,
+            network=prep.network,
+            sweep=sweep,
+            extras=extras,
+            cached=False,
+        )
+        if store is not None:
+            store.put(prep.key, (sweep, extras))
+
+    if pending:
+        workers = max(1, min(jobs, len(pending)))
+        if workers > 1 and not _fork_available():
+            warnings.warn(
+                f"grid {spec.name!r}: jobs={jobs} requested but the "
+                "'fork' start method is unavailable on this platform; "
+                "running points in-process",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        if workers > 1 and _fork_available():
+            _run_parallel(
+                prepared, deployments, pending, workers, on_result=finish
+            )
+        else:
+            for i in pending:
+                finish(i, *_execute(prepared[i], prepared[i].network))
+    _LAST_RUN_STATS.update(
+        name=spec.name,
+        points=len(prepared),
+        cached=len(prepared) - len(pending),
+    )
+    return results  # type: ignore[return-value]
+
+
+#: Filled after every :func:`run_grid` call; the CLI reads it to surface
+#: how much of an experiment was replayed from cache (a replay of *every*
+#: point after a code change means the cache is masking the change — see
+#: the staleness note in :mod:`repro.fastsim.cache`).
+_LAST_RUN_STATS: dict = {"name": "", "points": 0, "cached": 0}
+
+
+def last_grid_stats() -> dict:
+    """Stats of the most recent :func:`run_grid` call in this process."""
+    return dict(_LAST_RUN_STATS)
+
+
+def _run_parallel(
+    prepared: Sequence[_Prepared],
+    deployments: Sequence[Network],
+    pending: Sequence[int],
+    workers: int,
+    on_result: Callable[[int, SweepResult, dict], None],
+) -> None:
+    """Fan pending points out over a fork pool.
+
+    ``on_result(index, sweep, extras)`` fires per completed point in
+    completion order, so the caller caches incrementally — a failing
+    point or an interrupt loses only in-flight work, matching the serial
+    path's behavior.
+
+    Shared-memory lifetime: every needed deployment's segment exists
+    before the first task is submitted and is closed + unlinked in the
+    ``finally`` after the pool has shut down — workers only ever attach
+    to live segments, and nothing keeps a mapping after the run.
+    """
+    global _FORK_PAYLOAD
+    needed = sorted({prepared[i].dep_index for i in pending})
+    segments: dict[int, shared_memory.SharedMemory] = {}
+    descriptors: list[Optional[tuple]] = [None] * len(deployments)
+    try:
+        for dep in needed:
+            shm, descriptor = _create_segment(deployments[dep])
+            segments[dep] = shm
+            descriptors[dep] = descriptor
+        _FORK_PAYLOAD = (list(prepared), descriptors)
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=get_context("fork")
+        ) as pool:
+            futures = [pool.submit(_worker_run, i) for i in pending]
+            for future in as_completed(futures):
+                on_result(*future.result())
+    finally:
+        _FORK_PAYLOAD = None
+        for shm in segments.values():
+            try:
+                shm.close()
+            finally:
+                shm.unlink()

@@ -62,7 +62,7 @@ class SweepResult:
     """
 
     kind: str
-    seed: int
+    seed: "int | np.random.SeedSequence"
     rounds: np.ndarray
     success: np.ndarray
     outcomes: list = field(default_factory=list)
@@ -234,7 +234,7 @@ def run_sweep(
     kind: str,
     network: Network,
     n_replications: int,
-    seed: int,
+    seed: "int | np.random.SeedSequence",
     constants: Optional[ProtocolConstants] = None,
     *,
     use_batch: bool = True,

@@ -8,6 +8,7 @@ vectorized) and all analysis code consume networks through this class.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Optional
 
 import networkx as nx
@@ -61,6 +62,8 @@ class Network:
         self._gain: Optional[np.ndarray] = None
         self._graph: Optional[nx.Graph] = None
         self._diameter: Optional[int] = None
+        self._max_degree: Optional[int] = None
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------
     # basic properties
@@ -132,8 +135,10 @@ class Network:
 
     @property
     def max_degree(self) -> int:
-        """Maximum degree ``Delta`` of the communication graph."""
-        return graph_utils.max_degree(self.graph)
+        """Maximum degree ``Delta`` of the communication graph (cached)."""
+        if self._max_degree is None:
+            self._max_degree = graph_utils.max_degree(self.graph)
+        return self._max_degree
 
     @property
     def granularity(self) -> float:
@@ -151,6 +156,38 @@ class Network:
     def neighbors(self, v: int) -> list[int]:
         """Communication-graph neighbours of station ``v``."""
         return sorted(self.graph.neighbors(v))
+
+    def fingerprint(self) -> str:
+        """Content hash of everything that determines simulation results.
+
+        Covers the coordinates (bytes), the SINR parameters and the metric
+        identity — but *not* ``name``, which is a display label.  Two
+        networks with equal fingerprints produce identical gain matrices
+        and hence identical protocol behaviour on identical seeds; the
+        grid layer keys its shared-memory registry and the on-disk result
+        cache on this value (DESIGN.md §6.3).
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            digest.update(
+                repr(
+                    (
+                        self._coords.shape,
+                        str(self._coords.dtype),
+                        type(self.metric).__name__,
+                        self.metric.growth_dimension,
+                        self.params,
+                    )
+                ).encode()
+            )
+            digest.update(np.ascontiguousarray(self._coords).tobytes())
+            explicit = getattr(self.metric, "_matrix", None)
+            if explicit is not None:
+                # MatrixMetric ignores coordinates; the matrix is the
+                # geometry.
+                digest.update(np.ascontiguousarray(explicit).tobytes())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # derived views

@@ -108,6 +108,10 @@ def _listener_ranking(gain: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     key = id(gain)
     entry = _RANK_CACHE.get(key)
     if entry is not None and entry[0]() is gain:
+        # Refresh recency: a hit moves the entry to the newest slot so the
+        # bound below evicts the matrices that stopped being used, never a
+        # matrix in active round-loop service.
+        _RANK_CACHE[key] = _RANK_CACHE.pop(key)
         return entry[1], entry[2]
     n = gain.shape[0]
     _RANK_CACHE.pop(key, None)  # id reuse after a matrix was collected
@@ -119,16 +123,38 @@ def _listener_ranking(gain: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     rank = np.argsort(-gain, axis=0, kind="stable").T.astype(dtype)
     position = np.empty_like(rank)
     position[np.arange(n)[:, None], rank] = np.arange(n, dtype=dtype)
-    if len(_RANK_CACHE) >= _RANK_CACHE_LIMIT:
-        # Defensive bound; the weakref finalizers below normally keep the
-        # cache pruned to live gain matrices.
-        _RANK_CACHE.clear()
+    while len(_RANK_CACHE) >= _RANK_CACHE_LIMIT:
+        # Bound the cache by evicting the least recently used entry (the
+        # insertion-ordered dict front, given the hit refresh above).  The
+        # weakref finalizers below prune dead matrices eagerly; this bound
+        # only triggers when >= 32 distinct matrices are alive at once,
+        # and must not wipe rankings still in service (evicting an entry
+        # drops its weakref, so the dead finalizer is a no-op, not a leak).
+        _RANK_CACHE.pop(next(iter(_RANK_CACHE)))
     _RANK_CACHE[key] = (
         weakref.ref(gain, lambda _ref, _key=key: _RANK_CACHE.pop(_key, None)),
         rank,
         position,
     )
     return rank, position
+
+
+#: Grow-only scratch buffer backing the float view of ``tx_sub`` in
+#: :func:`_strongest_transmitters` — one allocation amortized over every
+#: round instead of a fresh ``(B, |cols|)`` array per call.  Reuse is safe
+#: because the buffer is consumed within the call (``einsum`` reads it and
+#: writes a fresh output) and the resolver is not reentrant.
+_TX_FLOAT_WS = np.empty(0)
+
+
+def _tx_float_workspace(tx_sub: np.ndarray) -> np.ndarray:
+    """``tx_sub`` as floats (0.0/1.0) in the shared scratch buffer."""
+    global _TX_FLOAT_WS
+    if _TX_FLOAT_WS.size < tx_sub.size:
+        _TX_FLOAT_WS = np.empty(max(tx_sub.size, 2 * _TX_FLOAT_WS.size))
+    view = _TX_FLOAT_WS[: tx_sub.size].reshape(tx_sub.shape)
+    np.copyto(view, tx_sub)
+    return view
 
 
 def _strongest_transmitters(
@@ -158,7 +184,8 @@ def _strongest_transmitters(
     rank, position = _listener_ranking(gain)
     tx_sub = tx_mask[:, cols]
     total = np.einsum(
-        "bv,vu->bu", tx_sub.astype(float), gain[cols], optimize=False
+        "bv,vu->bu", _tx_float_workspace(tx_sub), gain[cols],
+        optimize=False,
     )
     dtype = position.dtype
     sentinel = dtype.type(

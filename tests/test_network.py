@@ -167,3 +167,40 @@ class TestNetwork:
         nbrs = small_grid.neighbors(0)
         assert nbrs == sorted(nbrs)
         assert 0 not in nbrs
+
+
+class TestNetworkCachesAndFingerprint:
+    def test_max_degree_cached(self):
+        coords = np.random.default_rng(6).random((16, 2)) * 2.0
+        net = Network(coords)
+        first = net.max_degree
+        assert net._max_degree == first
+        # Cached value is served without re-walking the graph.
+        net._max_degree = first + 99
+        assert net.max_degree == first + 99
+
+    def test_fingerprint_stable_across_instances(self):
+        coords = np.random.default_rng(5).random((8, 2)) * 3.0
+        a = Network(coords, name="a")
+        b = Network(coords.copy(), name="b")
+        assert a.fingerprint() == b.fingerprint()  # name is cosmetic
+
+    def test_fingerprint_changes_with_coords(self):
+        coords = np.random.default_rng(5).random((8, 2)) * 3.0
+        moved = coords.copy()
+        moved[0, 0] += 1e-9
+        assert (
+            Network(coords).fingerprint() != Network(moved).fingerprint()
+        )
+
+    def test_fingerprint_changes_with_params(self):
+        coords = np.random.default_rng(5).random((8, 2)) * 3.0
+        assert (
+            Network(coords).fingerprint()
+            != Network(
+                coords, params=SINRParameters.default(alpha=4.0)
+            ).fingerprint()
+        )
+
+    def test_fingerprint_is_cached(self, small_square):
+        assert small_square.fingerprint() is small_square.fingerprint()

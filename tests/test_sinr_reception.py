@@ -265,3 +265,60 @@ class TestSinrValues:
         manual = g[0, 1] / (PARAMS.noise + g[2, 1])
         assert best[1] == 0
         assert sinr[1] == pytest.approx(manual)
+
+
+class TestRankCacheEviction:
+    """The listener-ranking cache must keep matrices in active service.
+
+    Regression for the defensive ``.clear()`` that wiped the whole cache
+    (including rankings of still-live gain matrices) whenever a 33rd
+    matrix appeared: eviction is now least-recently-used, so a matrix
+    that keeps being ranked survives arbitrary churn of other matrices.
+    """
+
+    @staticmethod
+    def _matrix(rng, n=6):
+        g = rng.random((n, n))
+        np.fill_diagonal(g, 0.0)
+        return g
+
+    def test_live_ranking_survives_32_plus_matrices(self):
+        from repro.sinr.reception import (
+            _RANK_CACHE,
+            _RANK_CACHE_LIMIT,
+            _listener_ranking,
+        )
+
+        rng = np.random.default_rng(3)
+        live = self._matrix(rng)
+        rank0, pos0 = _listener_ranking(live)
+        others = []  # held alive: finalizers must not prune for us
+        for _ in range(_RANK_CACHE_LIMIT + 8):
+            other = self._matrix(rng)
+            others.append(other)
+            _listener_ranking(other)
+            # The live matrix is ranked every round (the round-loop access
+            # pattern); identity proves the cache entry survived.
+            rank, pos = _listener_ranking(live)
+            assert rank is rank0
+            assert pos is pos0
+        assert len(_RANK_CACHE) <= _RANK_CACHE_LIMIT
+
+    def test_eviction_drops_least_recently_used_first(self):
+        from repro.sinr.reception import (
+            _RANK_CACHE,
+            _RANK_CACHE_LIMIT,
+            _listener_ranking,
+        )
+
+        rng = np.random.default_rng(4)
+        cold = self._matrix(rng)
+        cold_rank, _ = _listener_ranking(cold)
+        churn = [self._matrix(rng) for _ in range(_RANK_CACHE_LIMIT)]
+        for g in churn:
+            _listener_ranking(g)
+        # Never re-ranked while 32 fresh matrices arrived: evicted.
+        assert id(cold) not in _RANK_CACHE
+        new_rank, _ = _listener_ranking(cold)
+        assert new_rank is not cold_rank
+        assert np.array_equal(new_rank, cold_rank)
