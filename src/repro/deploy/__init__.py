@@ -14,11 +14,16 @@ The families mirror the situations the paper discusses:
   large granularity ``Rs`` that separates this paper from Daum et al. [5];
 * clusters — high local density, small diameter (stress for Lemma 1);
 * in-ball perturbations — families of deployments sharing one communication
-  graph but differing in geometry (the paper's headline claim E12).
+  graph but differing in geometry (the paper's headline claim E12);
+* geometry-diverse families for E13 — 3D cubes, fractal cluster
+  hierarchies with tunable growth dimension, and corridors that pair
+  with obstacle channel models.
 """
 
-from repro.deploy.uniform import uniform_square, uniform_disk
+from repro.deploy.uniform import uniform_square, uniform_disk, uniform_cube
 from repro.deploy.grid import grid, grid_chain, jittered_grid
+from repro.deploy.fractal import fractal_clusters, fractal_dimension
+from repro.deploy.corridor import corridor
 from repro.deploy.line import (
     uniform_chain,
     geometric_chain,
@@ -31,6 +36,10 @@ from repro.deploy.perturb import perturb_within_balls, same_graph_family
 __all__ = [
     "uniform_square",
     "uniform_disk",
+    "uniform_cube",
+    "fractal_clusters",
+    "fractal_dimension",
+    "corridor",
     "grid",
     "grid_chain",
     "jittered_grid",

@@ -82,7 +82,7 @@ def perturb_within_balls(
 
     perturbed = Network(
         coords, params=net.params, metric=net.metric,
-        name=f"{net.name}-perturbed",
+        name=f"{net.name}-perturbed", channel=net.channel,
     )
     if _edge_set(perturbed) != _edge_set(net):
         raise DeploymentError(

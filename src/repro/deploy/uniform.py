@@ -53,6 +53,43 @@ def uniform_square(
     raise last_error
 
 
+def uniform_cube(
+    n: int,
+    side: float,
+    rng: np.random.Generator,
+    params: Optional[SINRParameters] = None,
+    *,
+    max_attempts: int = 50,
+    name: str = "uniform-cube",
+    channel=None,
+) -> Network:
+    """``n`` stations uniform in an axis-aligned cube — the 3D deployment.
+
+    The metric is inferred from the coordinate dimension
+    (``EuclideanMetric(3)``, growth dimension 3), so protocol constants
+    and the growth certification tests see the right ``gamma``.  The 3D
+    connectivity threshold is lower than 2D at equal side (each station
+    sees a ball, not a disk, of neighbours, but volume dilutes density
+    faster); like the other generators this redraws until connected.
+
+    :param channel: optional channel model forwarded to the network.
+    :raises DisconnectedNetworkError: if no connected draw is found.
+    """
+    _require(n >= 1, f"need at least one station, got n={n}")
+    _require(side > 0, f"cube side must be positive, got {side}")
+    if params is None:
+        params = SINRParameters.default()
+    for _ in range(max_attempts):
+        coords = rng.uniform(0.0, side, size=(n, 3))
+        net = Network(coords, params=params, name=name, channel=channel)
+        if net.is_connected:
+            return net
+    raise DisconnectedNetworkError(
+        f"uniform cube deployment (n={n}, side={side}) stayed "
+        f"disconnected after {max_attempts} attempts; increase density"
+    )
+
+
 def uniform_disk(
     n: int,
     radius: float,

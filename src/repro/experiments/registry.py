@@ -18,6 +18,7 @@ from repro.experiments import (
     e10_consensus,
     e11_leader,
     e12_geometry,
+    e13_channel_robustness,
 )
 from repro.experiments.base import ExperimentReport
 
@@ -36,6 +37,7 @@ _REGISTRY: dict[str, RunFn] = {
     "E10": e10_consensus.run,
     "E11": e11_leader.run,
     "E12": e12_geometry.run,
+    "E13": e13_channel_robustness.run,
 }
 
 

@@ -51,7 +51,6 @@ from repro.errors import ProtocolError
 from repro.fastsim.cache import ResultCache, point_key
 from repro.fastsim.sweep import SweepResult, run_sweep
 from repro.network.network import Network
-from repro.sinr.gain import gain_matrix
 
 
 @dataclass(frozen=True)
@@ -269,7 +268,7 @@ def _execute(prep: _Prepared, network: Network) -> tuple[SweepResult, dict]:
 #: Set by the parent immediately before pool creation; workers inherit it
 #: through ``fork`` (nothing here is ever pickled).  Layout:
 #: ``(prepared, [(shm_name, shape, dtype_str, coords, params, metric,
-#: name), ...])``.
+#: channel, name), ...])``.
 _FORK_PAYLOAD: Optional[tuple] = None
 
 #: Worker-local registry of attached segments: dep_index -> (shm, Network).
@@ -289,9 +288,8 @@ def _attach_network(dep_index: int) -> Network:
     if cached is not None:
         return cached[1]
     _, segments = _FORK_PAYLOAD
-    shm_name, shape, dtype_str, coords, params, metric, name = segments[
-        dep_index
-    ]
+    (shm_name, shape, dtype_str, coords, params, metric, channel,
+     name) = segments[dep_index]
     # NOTE on the resource tracker: fork workers share the parent's
     # tracker process, and its registry is a set — the attach here
     # re-registers the same name the parent registered at creation, so
@@ -300,7 +298,9 @@ def _attach_network(dep_index: int) -> Network:
     shm = shared_memory.SharedMemory(name=shm_name)
     gains = np.ndarray(shape, dtype=np.dtype(dtype_str), buffer=shm.buf)
     gains.setflags(write=False)
-    net = Network(coords, params=params, metric=metric, name=name)
+    net = Network(
+        coords, params=params, metric=metric, name=name, channel=channel
+    )
     net._gain = gains
     _WORKER_NETS[dep_index] = (shm, net)
     return net
@@ -324,9 +324,7 @@ def _create_segment(net: Network) -> tuple[shared_memory.SharedMemory, tuple]:
     if net._gain is not None:
         source = net._gain
     else:
-        source = gain_matrix(
-            net.distances, net.params.power, net.params.alpha
-        )
+        source = net.channel.gain(net.distances, net.coords, net.params)
     shm = shared_memory.SharedMemory(create=True, size=source.nbytes)
     view = np.ndarray(source.shape, dtype=source.dtype, buffer=shm.buf)
     view[:] = source
@@ -337,6 +335,7 @@ def _create_segment(net: Network) -> tuple[shared_memory.SharedMemory, tuple]:
         np.asarray(net.coords),
         net.params,
         net.metric,
+        net.channel,
         net.name,
     )
     del view

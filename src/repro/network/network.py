@@ -21,7 +21,7 @@ from repro.geometry.metric import (
     MIN_DISTANCE,
 )
 from repro.network import graph as graph_utils
-from repro.sinr.gain import gain_matrix
+from repro.sinr.channel import ChannelModel, default_channel
 from repro.sinr.params import SINRParameters
 
 
@@ -34,6 +34,10 @@ class Network:
     :param metric: metric used for distances; defaults to the Euclidean
         metric of the coordinate dimension.
     :param name: optional human-readable label used in reports.
+    :param channel: channel model producing the gain matrix; defaults to
+        the paper's uniform-power ``P d^-alpha`` channel (DESIGN.md §2.1).
+        The communication graph stays distance-based regardless of the
+        channel — E13 measures exactly that mismatch.
     """
 
     def __init__(
@@ -42,6 +46,7 @@ class Network:
         params: Optional[SINRParameters] = None,
         metric: Optional[Metric] = None,
         name: str = "network",
+        channel: Optional[ChannelModel] = None,
     ):
         coords = np.asarray(coords, dtype=float)
         if coords.ndim == 1:
@@ -58,6 +63,7 @@ class Network:
             coords.shape[1]
         )
         self.name = name
+        self.channel = channel if channel is not None else default_channel()
         self._dist: Optional[np.ndarray] = None
         self._gain: Optional[np.ndarray] = None
         self._graph: Optional[nx.Graph] = None
@@ -100,10 +106,11 @@ class Network:
 
     @property
     def gains(self) -> np.ndarray:
-        """Lazily computed path-gain matrix ``P * d^-alpha``."""
+        """Lazily computed gain matrix, routed through the channel model
+        (``P * d^-alpha`` under the default :class:`UniformPower`)."""
         if self._gain is None:
-            gain = gain_matrix(
-                self.distances, self.params.power, self.params.alpha
+            gain = self.channel.gain(
+                self.distances, self._coords, self.params
             )
             gain.setflags(write=False)
             self._gain = gain
@@ -160,12 +167,14 @@ class Network:
     def fingerprint(self) -> str:
         """Content hash of everything that determines simulation results.
 
-        Covers the coordinates (bytes), the SINR parameters and the metric
-        identity — but *not* ``name``, which is a display label.  Two
-        networks with equal fingerprints produce identical gain matrices
-        and hence identical protocol behaviour on identical seeds; the
-        grid layer keys its shared-memory registry and the on-disk result
-        cache on this value (DESIGN.md §6.3).
+        Covers the coordinates (bytes), the SINR parameters, the metric
+        identity and the channel model's :meth:`~repro.sinr.channel.ChannelModel.identity`
+        — but *not* ``name``, which is a display label.  Two networks with
+        equal fingerprints produce identical gain matrices and hence
+        identical protocol behaviour on identical seeds; the grid layer
+        keys its shared-memory registry and the on-disk result cache on
+        this value (DESIGN.md §6.3), so networks differing only in
+        channel never replay each other's results.
         """
         if self._fingerprint is None:
             digest = hashlib.sha256()
@@ -177,6 +186,7 @@ class Network:
                         type(self.metric).__name__,
                         self.metric.growth_dimension,
                         self.params,
+                        self.channel.identity(),
                     )
                 ).encode()
             )
@@ -204,7 +214,19 @@ class Network:
         """
         return Network(
             np.array(self._coords), params=params, metric=self.metric,
-            name=self.name,
+            name=self.name, channel=self.channel,
+        )
+
+    def with_channel(self, channel: ChannelModel) -> "Network":
+        """A copy of this network under a different channel model.
+
+        Coordinates, parameters and hence the communication graph are
+        unchanged; gains (and the fingerprint) are not.  This is how E13
+        sweeps one deployment across channels.
+        """
+        return Network(
+            np.array(self._coords), params=self.params, metric=self.metric,
+            name=self.name, channel=channel,
         )
 
     def describe(self) -> dict:
@@ -220,6 +242,7 @@ class Network:
             "alpha": self.params.alpha,
             "beta": self.params.beta,
             "eps": self.params.eps,
+            "channel": self.channel.identity()[0],
         }
 
     def __repr__(self) -> str:

@@ -8,10 +8,25 @@ the message of a transmitter ``v`` in a round exactly when
 
 where ``T`` is the set of stations transmitting in that round.  Everything
 is vectorized over numpy arrays so a round costs ``O(|T| * n)`` flops.
+
+The numerator/denominator gains come from a pluggable
+:class:`~repro.sinr.channel.ChannelModel` (DESIGN.md §2.1); the default
+:class:`~repro.sinr.channel.UniformPower` is the uniform-power
+``P d^-alpha`` channel above, with shadowing, breakpoint-loss and
+obstacle variants alongside it.
 """
 
 from repro.sinr.params import SINRParameters, ParameterBounds
 from repro.sinr.gain import gain_matrix, received_power, interference_at
+from repro.sinr.channel import (
+    ChannelModel,
+    DualSlope,
+    LogNormalShadowing,
+    ObstacleMask,
+    UniformPower,
+    default_channel,
+    rectangle,
+)
 from repro.sinr.reception import resolve_reception, sinr_values, NO_SENDER
 
 __all__ = [
@@ -20,6 +35,13 @@ __all__ = [
     "gain_matrix",
     "received_power",
     "interference_at",
+    "ChannelModel",
+    "UniformPower",
+    "LogNormalShadowing",
+    "DualSlope",
+    "ObstacleMask",
+    "default_channel",
+    "rectangle",
     "resolve_reception",
     "sinr_values",
     "NO_SENDER",

@@ -6,8 +6,11 @@ import pytest
 from repro.deploy import (
     cluster_network,
     clustered_chain,
+    corridor,
     dumbbell,
     exponential_chain,
+    fractal_clusters,
+    fractal_dimension,
     geometric_chain,
     grid,
     grid_chain,
@@ -15,6 +18,7 @@ from repro.deploy import (
     perturb_within_balls,
     same_graph_family,
     uniform_chain,
+    uniform_cube,
     uniform_disk,
     uniform_square,
 )
@@ -55,6 +59,115 @@ class TestUniform:
     def test_disk_within_radius(self, rng):
         net = uniform_disk(n=40, radius=1.5, rng=rng)
         assert np.all(np.linalg.norm(net.coords, axis=1) <= 1.5 + 1e-9)
+
+
+class TestUniformCube:
+    def test_connected_and_three_dimensional(self, rng):
+        net = uniform_cube(n=60, side=1.5, rng=rng)
+        assert net.is_connected
+        assert net.coords.shape == (60, 3)
+        assert net.metric.growth_dimension == 3.0
+
+    def test_within_bounds(self, rng):
+        net = uniform_cube(n=50, side=1.5, rng=rng)
+        assert np.all(net.coords >= 0.0)
+        assert np.all(net.coords <= 1.5)
+
+    def test_reproducible(self):
+        a = uniform_cube(n=30, side=1.4, rng=np.random.default_rng(5))
+        b = uniform_cube(n=30, side=1.4, rng=np.random.default_rng(5))
+        assert np.allclose(a.coords, b.coords)
+
+    def test_disconnected_raises(self):
+        with pytest.raises(DisconnectedNetworkError):
+            uniform_cube(
+                n=5, side=40.0, rng=np.random.default_rng(0),
+                max_attempts=3,
+            )
+
+    def test_rejects_bad_args(self, rng):
+        with pytest.raises(DeploymentError):
+            uniform_cube(n=0, side=1.0, rng=rng)
+        with pytest.raises(DeploymentError):
+            uniform_cube(n=5, side=-1.0, rng=rng)
+
+    def test_channel_forwarded(self, rng):
+        from repro.sinr.channel import LogNormalShadowing
+
+        channel = LogNormalShadowing(2.0, seed=1)
+        net = uniform_cube(n=20, side=1.2, rng=rng, channel=channel)
+        assert net.channel is channel
+
+
+class TestFractalClusters:
+    def test_size_is_branching_to_levels(self, rng):
+        net = fractal_clusters(3, 4, rng)
+        assert net.size == 64
+        assert net.is_connected
+
+    def test_reproducible(self):
+        a = fractal_clusters(3, 3, np.random.default_rng(2))
+        b = fractal_clusters(3, 3, np.random.default_rng(2))
+        assert np.allclose(a.coords, b.coords)
+
+    def test_lower_dimension_is_sparser(self, rng):
+        # Smaller target dimension -> faster shrinking scatter radii ->
+        # tighter clusters (smaller median pairwise distance at equal n).
+        thin = fractal_clusters(
+            4, 3, np.random.default_rng(3), dimension=0.8
+        )
+        fat = fractal_clusters(
+            4, 3, np.random.default_rng(3), dimension=2.0
+        )
+        assert np.median(thin.distances) < np.median(fat.distances)
+
+    def test_dimension_formula(self):
+        assert fractal_dimension(4, 0.5) == pytest.approx(2.0)
+        assert fractal_dimension(2, 0.5) == pytest.approx(1.0)
+        with pytest.raises(DeploymentError):
+            fractal_dimension(1, 0.5)
+        with pytest.raises(DeploymentError):
+            fractal_dimension(4, 1.5)
+
+    def test_rejects_bad_args(self, rng):
+        with pytest.raises(DeploymentError):
+            fractal_clusters(0, 4, rng)
+        with pytest.raises(DeploymentError):
+            fractal_clusters(3, 1, rng)  # degenerate: one child per level
+        with pytest.raises(DeploymentError):
+            fractal_clusters(2, 0, rng)
+        with pytest.raises(DeploymentError):
+            fractal_clusters(3, 4, rng, dimension=2.5)
+        with pytest.raises(DeploymentError):
+            fractal_clusters(3, 4, rng, span=0.0)
+
+
+class TestCorridor:
+    def test_connected_within_bounds(self, rng):
+        net = corridor(50, 6.0, 0.35, rng)
+        assert net.is_connected
+        assert np.all(net.coords[:, 0] <= 6.0)
+        assert np.all(net.coords[:, 1] <= 0.35)
+        assert np.all(net.coords >= 0.0)
+
+    def test_reproducible(self):
+        a = corridor(30, 4.0, 0.3, np.random.default_rng(4))
+        b = corridor(30, 4.0, 0.3, np.random.default_rng(4))
+        assert np.allclose(a.coords, b.coords)
+
+    def test_sparse_corridor_disconnects(self):
+        with pytest.raises(DisconnectedNetworkError):
+            corridor(
+                4, 50.0, 0.3, np.random.default_rng(0), max_attempts=3
+            )
+
+    def test_rejects_bad_args(self, rng):
+        with pytest.raises(DeploymentError):
+            corridor(0, 5.0, 0.3, rng)
+        with pytest.raises(DeploymentError):
+            corridor(10, 5.0, -0.3, rng)
+        with pytest.raises(DeploymentError):
+            corridor(10, 0.3, 5.0, rng)  # width > length
 
 
 class TestGrid:
@@ -208,3 +321,11 @@ class TestPerturb:
         family = same_graph_family(small_square, [0.02], rng)
         orig = set(frozenset(e) for e in family[0].graph.edges)
         assert set(frozenset(e) for e in family[1].graph.edges) == orig
+
+    def test_perturb_preserves_channel(self, small_square, rng):
+        from repro.sinr.channel import LogNormalShadowing
+
+        channel = LogNormalShadowing(3.0, seed=1)
+        shadowed = small_square.with_channel(channel)
+        family = same_graph_family(shadowed, [0.02, 0.04], rng)
+        assert all(member.channel == channel for member in family)

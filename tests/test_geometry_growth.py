@@ -95,6 +95,75 @@ class TestGrowthDimensionEstimate:
         assert growth_dimension_estimate(d) == growth_dimension_estimate(d)
 
 
+class TestDeploymentGrowthCertification:
+    """Certify the E13 scenario families' growth dimensions.
+
+    The estimator is biased low on finite samples (boundary balls are
+    only partially full — see its docstring), so the assertions combine
+    generous absolute windows with ordering checks against a matched
+    uniform square: the *relative* geometry is what the experiments rely
+    on.
+    """
+
+    @staticmethod
+    def _square_estimate():
+        from repro.deploy import uniform_square
+
+        square = uniform_square(
+            n=400, side=5.5, rng=np.random.default_rng(11)
+        )
+        return growth_dimension_estimate(
+            square.distances, base_radius=0.3, scales=(2, 3, 4)
+        )
+
+    def test_uniform_cube_estimates_near_three(self):
+        from repro.deploy import uniform_cube
+
+        cube = uniform_cube(n=400, side=3.0, rng=np.random.default_rng(11))
+        est = growth_dimension_estimate(
+            cube.distances, base_radius=0.3, scales=(2, 3, 4)
+        )
+        assert 2.2 <= est <= 3.5
+        assert est > self._square_estimate() + 0.5
+
+    def test_fractal_clusters_match_tunable_target(self):
+        from repro.deploy import fractal_clusters
+
+        for target, window in ((1.0, 0.35), (1.5, 0.45)):
+            net = fractal_clusters(
+                4, 4, np.random.default_rng(13), dimension=target
+            )
+            est = growth_dimension_estimate(
+                net.distances, base_radius=0.02, scales=(2, 4, 8)
+            )
+            assert abs(est - target) <= window, (target, est)
+
+    def test_fractal_estimates_monotone_in_target(self):
+        from repro.deploy import fractal_clusters
+
+        estimates = [
+            growth_dimension_estimate(
+                fractal_clusters(
+                    4, 4, np.random.default_rng(13), dimension=target
+                ).distances,
+                base_radius=0.02,
+                scales=(2, 4, 8),
+            )
+            for target in (1.0, 1.5, 2.0)
+        ]
+        assert estimates[0] < estimates[1] < estimates[2]
+
+    def test_corridor_estimates_between_line_and_plane(self):
+        from repro.deploy import corridor
+
+        net = corridor(80, 10.0, 0.35, np.random.default_rng(17))
+        est = growth_dimension_estimate(
+            net.distances, base_radius=0.5, scales=(2, 3, 4)
+        )
+        assert 0.6 <= est <= 2.0
+        assert est < self._square_estimate()
+
+
 class TestEuclideanCoveringBound:
     def test_unit_scale(self):
         assert euclidean_covering_bound(1.0, 2.0) == 1

@@ -186,6 +186,65 @@ class TestResultCache:
         )
         assert not miss[0].cached
 
+    def test_channel_change_is_a_miss(self, tmp_path):
+        """Identical coords/params under different channel models must
+        never replay each other's results (the tentpole regression)."""
+        from repro.sinr.channel import LogNormalShadowing
+
+        coords = np.random.default_rng(8).uniform(0, 1.5, size=(12, 2))
+        from repro.network.network import Network
+
+        ideal = Network(coords)
+        shadowed = ideal.with_channel(LogNormalShadowing(3.0, seed=4))
+        assert ideal.fingerprint() != shadowed.fingerprint()
+        first = run_grid(
+            _spec([_uniform_point(deployment=lambda rng: ideal)]),
+            jobs=1, cache_dir=tmp_path,
+        )
+        miss = run_grid(
+            _spec([_uniform_point(deployment=lambda rng: shadowed)]),
+            jobs=1, cache_dir=tmp_path,
+        )
+        assert not miss[0].cached
+        assert not np.array_equal(
+            first[0].sweep.rounds, miss[0].sweep.rounds, equal_nan=True
+        ) or not np.array_equal(
+            first[0].sweep.outcomes[0].informed_round,
+            miss[0].sweep.outcomes[0].informed_round,
+        )
+        # Each network replays only its own entry afterwards.
+        again = run_grid(
+            _spec([_uniform_point(deployment=lambda rng: shadowed)]),
+            jobs=1, cache_dir=tmp_path,
+        )
+        assert again[0].cached
+
+    def test_obstacle_polygon_change_is_a_miss(self, tmp_path):
+        from repro.network.network import Network
+        from repro.sinr.channel import ObstacleMask, rectangle
+
+        rng = np.random.default_rng(9)
+        xs = np.arange(12) * 0.3 + rng.uniform(-0.05, 0.05, size=12)
+        coords = np.column_stack([xs, rng.uniform(0.0, 0.3, size=12)])
+        wall_a = Network(
+            coords,
+            channel=ObstacleMask([rectangle(0.7, 0.0, 0.8, 1.0)]),
+        )
+        wall_b = Network(
+            coords,
+            channel=ObstacleMask([rectangle(0.7, 0.5, 0.8, 1.5)]),
+        )
+        assert wall_a.fingerprint() != wall_b.fingerprint()
+        run_grid(
+            _spec([_uniform_point(deployment=lambda rng: wall_a)]),
+            jobs=1, cache_dir=tmp_path,
+        )
+        miss = run_grid(
+            _spec([_uniform_point(deployment=lambda rng: wall_b)]),
+            jobs=1, cache_dir=tmp_path,
+        )
+        assert not miss[0].cached
+
     def test_corrupt_entry_recomputed(self, tmp_path):
         spec = _spec([_uniform_point()])
         run_grid(spec, jobs=1, cache_dir=tmp_path)

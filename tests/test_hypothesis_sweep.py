@@ -25,6 +25,7 @@ from repro.fastsim import (
     spawn_rngs,
 )
 from repro.network.network import Network
+from repro.sinr.channel import DualSlope, LogNormalShadowing
 
 CONSTANTS = ProtocolConstants.practical()
 
@@ -39,6 +40,35 @@ def small_network(draw):
     xs = np.arange(n) * 0.45 + rng.uniform(-0.05, 0.05, size=n)
     ys = rng.uniform(-0.1, 0.1, size=n)
     return Network(np.column_stack([xs, ys]))
+
+
+@st.composite
+def off_ideal_network(draw):
+    """A 2D or 3D chain-backbone network under a non-uniform channel.
+
+    The batched-equals-sequential property must not depend on the gain
+    matrix being the idealized ``P d^-alpha`` — the kernels only ever see
+    ``net.gains`` — nor on the deployment being planar.
+    """
+    n = draw(st.integers(min_value=2, max_value=8))
+    seed = draw(st.integers(min_value=0, max_value=10 ** 6))
+    rng = np.random.default_rng(seed)
+    xs = np.arange(n) * 0.45 + rng.uniform(-0.05, 0.05, size=n)
+    columns = [xs, rng.uniform(-0.1, 0.1, size=n)]
+    if draw(st.booleans()):
+        columns.append(rng.uniform(-0.1, 0.1, size=n))  # 3D deployment
+    channel = draw(
+        st.sampled_from(
+            [
+                LogNormalShadowing(
+                    sigma_db=draw(st.floats(0.5, 6.0)),
+                    seed=draw(st.integers(0, 2 ** 10)),
+                ),
+                DualSlope(breakpoint=draw(st.floats(0.3, 1.5))),
+            ]
+        )
+    )
+    return Network(np.column_stack(columns), channel=channel)
 
 
 class TestSweepExactEquality:
@@ -73,6 +103,40 @@ class TestSweepExactEquality:
             assert np.array_equal(out.informed_round, single.informed_round)
             assert out.total_rounds == single.total_rounds
             assert out.success == single.success
+
+    @given(
+        net=off_ideal_network(),
+        batch=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=10 ** 6),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_spont_sweep_equals_loop_off_ideal(self, net, batch, seed):
+        """Exact equality under shadowed/dual-slope channels and 3D
+        deployments — not just the default 2D uniform-power case."""
+        sweep = run_sweep(
+            "spont_broadcast", net, batch, seed, CONSTANTS, source=0
+        )
+        for out, rng in zip(sweep.outcomes, spawn_rngs(batch, seed)):
+            single = fast_spont_broadcast(net, 0, CONSTANTS, rng)
+            assert np.array_equal(out.informed_round, single.informed_round)
+            assert out.total_rounds == single.total_rounds
+            assert out.success == single.success
+
+    @given(
+        net=off_ideal_network(),
+        batch=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=10 ** 6),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_coloring_batch_equals_loop_off_ideal(self, net, batch, seed):
+        rngs = spawn_rngs(batch, seed)
+        result = fast_coloring_batch(net, CONSTANTS, rngs)
+        for b, rng in enumerate(spawn_rngs(batch, seed)):
+            single = fast_coloring(net, CONSTANTS, rng)
+            assert np.array_equal(result.quit_levels[b], single.quit_levels)
+            assert np.allclose(
+                result.colors[b], single.colors, equal_nan=True
+            )
 
     @given(
         net=small_network(),

@@ -204,3 +204,37 @@ class TestNetworkCachesAndFingerprint:
 
     def test_fingerprint_is_cached(self, small_square):
         assert small_square.fingerprint() is small_square.fingerprint()
+
+    def test_fingerprint_changes_with_channel(self):
+        from repro.sinr.channel import DualSlope, LogNormalShadowing
+
+        coords = np.random.default_rng(5).random((8, 2)) * 3.0
+        prints = {
+            Network(coords).fingerprint(),
+            Network(
+                coords, channel=LogNormalShadowing(3.0, seed=1)
+            ).fingerprint(),
+            Network(
+                coords, channel=LogNormalShadowing(3.0, seed=2)
+            ).fingerprint(),
+            Network(coords, channel=DualSlope()).fingerprint(),
+        }
+        assert len(prints) == 4
+
+    def test_default_channel_keeps_fingerprint(self):
+        from repro.sinr.channel import UniformPower
+
+        coords = np.random.default_rng(5).random((8, 2)) * 3.0
+        assert (
+            Network(coords).fingerprint()
+            == Network(coords, channel=UniformPower()).fingerprint()
+        )
+
+    def test_with_channel_copies(self, small_square):
+        from repro.sinr.channel import LogNormalShadowing
+
+        shadowed = small_square.with_channel(LogNormalShadowing(2.0, 3))
+        assert shadowed is not small_square
+        assert np.array_equal(shadowed.coords, small_square.coords)
+        assert shadowed.params is small_square.params
+        assert not np.array_equal(shadowed.gains, small_square.gains)

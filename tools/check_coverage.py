@@ -1,0 +1,69 @@
+"""Gate CI on per-package coverage floors for the hot subsystems.
+
+Reads a ``coverage.json`` report (pytest-cov ``--cov-report=json``),
+aggregates line coverage over each package listed in
+``tools/coverage_baseline.json``, writes a human-readable summary (the
+CI artifact) and exits non-zero if any package fell below its floor.
+
+The floors were seeded at the level measured when the channel-model
+subsystem landed (the PR that introduced this gate) and should only ever
+be ratcheted *up* — a drop means new code in ``repro.sinr`` or
+``repro.fastsim`` shipped without tests.
+
+Usage::
+
+    python tools/check_coverage.py coverage.json [summary.txt]
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+BASELINE = pathlib.Path(__file__).with_name("coverage_baseline.json")
+
+
+def package_coverage(report: dict, package: str) -> tuple[float, int, int]:
+    """Aggregate (percent, covered, statements) over one package's files."""
+    needle = package.replace(".", "/") + "/"
+    covered = statements = 0
+    for path, entry in report.get("files", {}).items():
+        normalized = path.replace("\\", "/")
+        if needle in normalized:
+            summary = entry["summary"]
+            covered += summary["covered_lines"]
+            statements += summary["num_statements"]
+    if statements == 0:
+        raise SystemExit(
+            f"no files of package {package!r} appear in the report — "
+            "was pytest run with the right --cov targets?"
+        )
+    return 100.0 * covered / statements, covered, statements
+
+
+def main(argv: list[str]) -> int:
+    if not argv or len(argv) > 2:
+        print(__doc__)
+        return 2
+    report = json.loads(pathlib.Path(argv[0]).read_text())
+    floors = json.loads(BASELINE.read_text())["floors"]
+    lines = []
+    failed = False
+    for package, floor in sorted(floors.items()):
+        percent, covered, statements = package_coverage(report, package)
+        verdict = "ok" if percent >= floor else "BELOW FLOOR"
+        failed |= percent < floor
+        lines.append(
+            f"{package}: {percent:.1f}% ({covered}/{statements} lines), "
+            f"floor {floor:.1f}% — {verdict}"
+        )
+    summary = "\n".join(lines) + "\n"
+    sys.stdout.write(summary)
+    if len(argv) == 2:
+        pathlib.Path(argv[1]).write_text(summary)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
