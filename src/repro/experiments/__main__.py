@@ -42,6 +42,12 @@ def main(argv: list[str] | None = None) -> int:
         "--no-cache", action="store_true",
         help="disable the on-disk grid result cache",
     )
+    parser.add_argument(
+        "--cache-prune", type=float, default=None, metavar="MB",
+        help="after the run, evict least-recently-used cache entries "
+             "until the cache directory is at most MB megabytes "
+             "(tools/cache_gc.py is the standalone form)",
+    )
     args = parser.parse_args(argv)
 
     from repro.fastsim.grid import (
@@ -78,6 +84,19 @@ def main(argv: list[str] | None = None) -> int:
                 f"from cache, --no-cache to recompute"
             )
         print(timing + ")\n")
+    if args.cache_prune is not None:
+        # Independent of --no-cache: that flag only disables the cache
+        # during the run; an explicit prune request still reclaims disk.
+        from repro.fastsim.cache import ResultCache
+
+        report = ResultCache(args.cache_dir).prune(
+            max_bytes=int(args.cache_prune * 1e6)
+        )
+        print(
+            f"cache prune: {report['evicted']} LRU entries evicted, "
+            f"{report['kept_entries']} kept "
+            f"({report['kept_bytes'] / 1e6:.1f} MB)"
+        )
     if args.markdown:
         from repro.experiments.summary import reports_to_markdown
 

@@ -19,6 +19,7 @@ from repro.experiments import (
     e11_leader,
     e12_geometry,
     e13_channel_robustness,
+    e14_scale,
 )
 from repro.experiments.base import ExperimentReport
 
@@ -38,6 +39,7 @@ _REGISTRY: dict[str, RunFn] = {
     "E11": e11_leader.run,
     "E12": e12_geometry.run,
     "E13": e13_channel_robustness.run,
+    "E14": e14_scale.run,
 }
 
 

@@ -111,7 +111,8 @@ def fast_spont_broadcast_batch(
     pilot_tx = np.zeros((1, n), dtype=bool)
     pilot_tx[0, source] = True
     heard_from = resolve_reception_batch(
-        network.gains, pilot_tx, network.params.noise, network.params.beta
+        network.gain_operator, pilot_tx, network.params.noise,
+        network.params.beta,
     )[0]
     pilot_round = coloring.rounds
     newly = (heard_from != NO_SENDER)[None, :] & ~informed

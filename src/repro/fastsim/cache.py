@@ -154,14 +154,22 @@ class ResultCache:
         Corrupt or unreadable entries count as misses — the caller
         recomputes and overwrites them.
         """
+        path = self._path(key)
         try:
-            with open(self._path(key), "rb") as handle:
+            with open(path, "rb") as handle:
                 payload = pickle.load(handle)
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
                 ImportError, IndexError):
             self.misses += 1
             return None
         self.hits += 1
+        try:
+            # Refresh recency so LRU pruning (:meth:`prune`) evicts the
+            # entries that stopped being replayed, not the ones in
+            # active service.
+            os.utime(path)
+        except OSError:
+            pass
         return payload
 
     def put(self, key: str, payload: tuple) -> None:
@@ -185,3 +193,75 @@ class ResultCache:
         if not self.root.is_dir():
             return 0
         return sum(1 for _ in self.root.glob("*.pkl"))
+
+    def usage(self) -> tuple[int, int]:
+        """``(entries, bytes)`` currently stored."""
+        entries = size = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.pkl"):
+                try:
+                    size += path.stat().st_size
+                except OSError:
+                    continue
+                entries += 1
+        return entries, size
+
+    def prune(
+        self,
+        max_bytes: Optional[int] = None,
+        max_entries: Optional[int] = None,
+        dry_run: bool = False,
+    ) -> dict:
+        """Evict least-recently-used entries until within the budgets.
+
+        Content-addressed keys never go stale on input changes, so the
+        directory only ever grows — this is the reclamation path
+        (``tools/cache_gc.py`` and the CLI's ``--cache-prune``).
+        Recency is file mtime, refreshed on every :meth:`get` hit; the
+        oldest entries go first.  Nothing is evicted when no budget is
+        given (pure report).
+
+        :param max_bytes: target total payload size.
+        :param max_entries: target entry count.
+        :param dry_run: report what would be evicted without deleting.
+        :returns: report dict with ``entries``/``bytes`` before and
+            after, and the number of entries (to be) ``evicted``.
+        """
+        records = []
+        if self.root.is_dir():
+            for path in self.root.glob("*.pkl"):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                records.append((stat.st_mtime, stat.st_size, path))
+        records.sort()  # oldest mtime first
+        total_entries = len(records)
+        total_bytes = sum(size for _, size, _ in records)
+        keep_entries, keep_bytes = total_entries, total_bytes
+        evict = []
+        for mtime, size, path in records:
+            over_bytes = max_bytes is not None and keep_bytes > max_bytes
+            over_entries = (
+                max_entries is not None and keep_entries > max_entries
+            )
+            if not (over_bytes or over_entries):
+                break
+            evict.append(path)
+            keep_entries -= 1
+            keep_bytes -= size
+        if not dry_run:
+            for path in evict:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        return {
+            "root": str(self.root),
+            "entries": total_entries,
+            "bytes": total_bytes,
+            "evicted": len(evict),
+            "kept_entries": keep_entries,
+            "kept_bytes": keep_bytes,
+            "dry_run": dry_run,
+        }

@@ -138,7 +138,7 @@ def fast_coloring_batch(
             "informed_round must accompany informed for bookkeeping"
         )
 
-    gains = network.gains
+    gains = network.gain_operator
     noise = network.params.noise
     beta = network.params.beta
     counts_self = constants.playoff_counts_self

@@ -118,7 +118,7 @@ def dissemination_loop_batch(
     :returns: ``(B,)`` per-replication first unused round number.
     """
     B, n = informed.shape
-    gains = network.gains
+    gains = network.gain_operator
     noise = network.params.noise
     beta = network.params.beta
     if enabled is None:

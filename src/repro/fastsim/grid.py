@@ -17,13 +17,15 @@ declared as data (:class:`GridSpec`) and executed by :func:`run_grid`:
   method.  The spec (closures included) reaches workers through fork
   inheritance; the only objects pickled are point indices going in and
   :class:`~repro.fastsim.sweep.SweepResult` payloads coming out.
-* **shared-memory gain matrices** — the dense ``(n, n)`` gain matrix of
-  each distinct deployment is materialized exactly once, into a
-  ``multiprocessing.shared_memory`` segment created by the parent;
-  workers attach by name and install a read-only view on their
-  reconstructed :class:`~repro.network.network.Network`.  Dense arrays
-  are never pickled.  The parent owns segment lifetime: created before
-  dispatch, unlinked in a ``finally`` once every point has reported.
+* **shared-memory gain arrays** — each distinct deployment's gain
+  structure is materialized exactly once, into a
+  ``multiprocessing.shared_memory`` segment created by the parent: the
+  dense ``(n, n)`` matrix in dense mode, the sparse backend's CSR
+  triple (data/indices/indptr, DESIGN.md §2.2) in sparse mode; workers
+  attach by name and install read-only views on their reconstructed
+  :class:`~repro.network.network.Network`.  Heavy arrays are never
+  pickled.  The parent owns segment lifetime: created before dispatch,
+  unlinked in a ``finally`` once every point has reported.
 * **result cache** — with a cache directory configured, each point's
   result is stored content-addressed under
   :func:`repro.fastsim.cache.point_key`; re-runs (and ``--scale full``
@@ -51,6 +53,7 @@ from repro.errors import ProtocolError
 from repro.fastsim.cache import ResultCache, point_key
 from repro.fastsim.sweep import SweepResult, run_sweep
 from repro.network.network import Network
+from repro.sinr.sparse import SparseGainBackend
 
 
 @dataclass(frozen=True)
@@ -276,19 +279,23 @@ _WORKER_NETS: dict[int, tuple] = {}
 
 
 def _attach_network(dep_index: int) -> Network:
-    """Worker-side Network with its gain matrix mapped from shared memory.
+    """Worker-side Network with its gain arrays mapped from shared memory.
 
     The Network is rebuilt from the (small) coordinates and parameters;
-    the dense gain matrix is a read-only zero-copy view into the parent's
-    segment.  Attachments are kept for the worker's lifetime (a worker
-    typically runs several points of the same deployment) and released by
-    process exit; the parent is the sole owner of segment unlinking.
+    the heavy arrays are read-only zero-copy views into the parent's
+    segment — the dense ``(n, n)`` gain matrix in dense mode, the CSR
+    triple (data/indices/indptr) in sparse mode, where the cheap parts
+    (cell index, far-field kernels) are derived from the coordinates
+    deterministically.  Attachments are kept for the worker's lifetime
+    (a worker typically runs several points of the same deployment) and
+    released by process exit; the parent is the sole owner of segment
+    unlinking.
     """
     cached = _WORKER_NETS.get(dep_index)
     if cached is not None:
         return cached[1]
     _, segments = _FORK_PAYLOAD
-    (shm_name, shape, dtype_str, coords, params, metric, channel,
+    (shm_name, payload, coords, params, metric, channel,
      name) = segments[dep_index]
     # NOTE on the resource tracker: fork workers share the parent's
     # tracker process, and its registry is a set — the attach here
@@ -296,12 +303,32 @@ def _attach_network(dep_index: int) -> Network:
     # exactly one unregister happens when the parent unlinks.  No
     # worker-side bookkeeping is needed (or correct).
     shm = shared_memory.SharedMemory(name=shm_name)
-    gains = np.ndarray(shape, dtype=np.dtype(dtype_str), buffer=shm.buf)
-    gains.setflags(write=False)
-    net = Network(
-        coords, params=params, metric=metric, name=name, channel=channel
-    )
-    net._gain = gains
+    if payload[0] == "sparse":
+        _, cutoff, parts = payload
+        views = []
+        for shape, dtype_str, offset in parts:
+            view = np.ndarray(
+                shape, dtype=np.dtype(dtype_str), buffer=shm.buf,
+                offset=offset,
+            )
+            view.setflags(write=False)
+            views.append(view)
+        net = Network(
+            coords, params=params, metric=metric, name=name,
+            channel=channel, backend="sparse", cutoff=cutoff,
+        )
+        net._backend_obj = SparseGainBackend.from_arrays(
+            coords, params, net.channel, cutoff, *views
+        )
+    else:
+        _, shape, dtype_str = payload
+        gains = np.ndarray(shape, dtype=np.dtype(dtype_str), buffer=shm.buf)
+        gains.setflags(write=False)
+        net = Network(
+            coords, params=params, metric=metric, name=name,
+            channel=channel, backend="dense",
+        )
+        net._gain = gains
     _WORKER_NETS[dep_index] = (shm, net)
     return net
 
@@ -314,31 +341,56 @@ def _worker_run(index: int) -> tuple[int, SweepResult, dict]:
 
 
 def _create_segment(net: Network) -> tuple[shared_memory.SharedMemory, tuple]:
-    """Materialize ``net``'s gain matrix into a fresh shm segment.
+    """Materialize ``net``'s gain arrays into a fresh shm segment.
 
-    The parent's Network keeps its lazy ``gains`` untouched — the segment
-    holds the only live dense copy, and no view into it is left dangling
-    on the parent side (the fill view dies inside this function), so
-    unlinking after the run can never invalidate a returned result.
+    Dense mode ships the ``(n, n)`` gain matrix exactly as before
+    (descriptor layout ``("dense", shape, dtype)``); sparse mode packs
+    the backend's CSR triple — data, then indptr, then indices, in that
+    order so every section stays 8-byte aligned — into one segment and
+    records per-array offsets (``("sparse", cutoff, parts)``).  The
+    parent's Network keeps its lazy caches untouched, and no view into
+    the segment is left dangling on the parent side (the fill views die
+    inside this function), so unlinking after the run can never
+    invalidate a returned result.
     """
-    if net._gain is not None:
-        source = net._gain
+    if net.backend_kind == "sparse":
+        backend = net.sparse_backend
+        arrays = (backend.data, backend.indptr, backend.indices)
+        offsets = []
+        total = 0
+        for arr in arrays:
+            offsets.append(total)
+            total += arr.nbytes
+        shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
+        parts = []
+        for arr, offset in zip(arrays, offsets):
+            view = np.ndarray(
+                arr.shape, dtype=arr.dtype, buffer=shm.buf, offset=offset
+            )
+            view[:] = arr
+            parts.append((arr.shape, arr.dtype.str, offset))
+            del view
+        # from_arrays takes (data, indices, indptr): reorder the parts.
+        payload = ("sparse", net.cutoff, [parts[0], parts[2], parts[1]])
     else:
-        source = net.channel.gain(net.distances, net.coords, net.params)
-    shm = shared_memory.SharedMemory(create=True, size=source.nbytes)
-    view = np.ndarray(source.shape, dtype=source.dtype, buffer=shm.buf)
-    view[:] = source
+        if net._gain is not None:
+            source = net._gain
+        else:
+            source = net.channel.gain(net.distances, net.coords, net.params)
+        shm = shared_memory.SharedMemory(create=True, size=source.nbytes)
+        view = np.ndarray(source.shape, dtype=source.dtype, buffer=shm.buf)
+        view[:] = source
+        payload = ("dense", source.shape, source.dtype.str)
+        del view
     descriptor = (
         shm.name,
-        source.shape,
-        source.dtype.str,
+        payload,
         np.asarray(net.coords),
         net.params,
         net.metric,
         net.channel,
         net.name,
     )
-    del view
     return shm, descriptor
 
 

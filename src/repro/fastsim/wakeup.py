@@ -148,7 +148,7 @@ def fast_adhoc_wakeup_batch(
         spread = int(np.max(schedule.wake_rounds))
         round_budget = spread + phase_len * (2 * depth + budget_slack)
 
-    gains = network.gains
+    gains = network.gain_operator
     noise = network.params.noise
     beta = network.params.beta
 

@@ -14,7 +14,7 @@ from typing import Optional
 import networkx as nx
 import numpy as np
 
-from repro.errors import DeploymentError
+from repro.errors import DeploymentError, ProtocolError
 from repro.geometry.metric import (
     EuclideanMetric,
     Metric,
@@ -23,6 +23,15 @@ from repro.geometry.metric import (
 from repro.network import graph as graph_utils
 from repro.sinr.channel import ChannelModel, default_channel
 from repro.sinr.params import SINRParameters
+from repro.sinr.sparse import (
+    SPARSE_AUTO_MIN,
+    SparseGainBackend,
+    default_cutoff,
+    sparse_supported,
+)
+
+#: Recognized SINR backend selectors (DESIGN.md §2.2).
+BACKENDS = ("auto", "dense", "sparse")
 
 
 class Network:
@@ -38,6 +47,13 @@ class Network:
         the paper's uniform-power ``P d^-alpha`` channel (DESIGN.md §2.1).
         The communication graph stays distance-based regardless of the
         channel — E13 measures exactly that mismatch.
+    :param backend: SINR backend selector (DESIGN.md §2.2): ``"dense"``
+        materializes the ``(n, n)`` matrices, ``"sparse"`` serves
+        reception from a cell-indexed CSR near field with a certified
+        far-field bound, ``"auto"`` (default) picks sparse for large
+        Euclidean deployments under radial channels and dense otherwise.
+    :param cutoff: near-field cutoff radius of the sparse backend
+        (default ``2 r``); ignored in dense mode.
     """
 
     def __init__(
@@ -47,7 +63,14 @@ class Network:
         metric: Optional[Metric] = None,
         name: str = "network",
         channel: Optional[ChannelModel] = None,
+        backend: str = "auto",
+        cutoff: Optional[float] = None,
     ):
+        if backend not in BACKENDS:
+            raise ProtocolError(
+                f"unknown SINR backend {backend!r}; expected one of "
+                f"{BACKENDS}"
+            )
         coords = np.asarray(coords, dtype=float)
         if coords.ndim == 1:
             coords = coords[:, None]
@@ -64,6 +87,10 @@ class Network:
         )
         self.name = name
         self.channel = channel if channel is not None else default_channel()
+        self._backend_request = backend
+        self._cutoff = cutoff
+        self._backend_kind: Optional[str] = None
+        self._backend_obj: Optional[SparseGainBackend] = None
         self._dist: Optional[np.ndarray] = None
         self._gain: Optional[np.ndarray] = None
         self._graph: Optional[nx.Graph] = None
@@ -107,7 +134,12 @@ class Network:
     @property
     def gains(self) -> np.ndarray:
         """Lazily computed gain matrix, routed through the channel model
-        (``P * d^-alpha`` under the default :class:`UniformPower`)."""
+        (``P * d^-alpha`` under the default :class:`UniformPower`).
+
+        Always the *dense* matrix — sparse-mode code paths go through
+        :attr:`gain_operator` instead and never materialize it; calling
+        this on a 100k-station network allocates ``n^2`` floats.
+        """
         if self._gain is None:
             gain = self.channel.gain(
                 self.distances, self._coords, self.params
@@ -117,21 +149,110 @@ class Network:
         return self._gain
 
     # ------------------------------------------------------------------
+    # SINR backend (DESIGN.md §2.2)
+    # ------------------------------------------------------------------
+    @property
+    def backend_kind(self) -> str:
+        """Resolved backend: ``"dense"`` or ``"sparse"``.
+
+        ``"auto"`` resolves to sparse for deployments of at least
+        :data:`~repro.sinr.sparse.SPARSE_AUTO_MIN` stations on a
+        Euclidean metric under a radial channel (and a sane cell
+        budget); an *explicit* ``"sparse"`` request on an unsupported
+        deployment raises when the backend is first touched.
+        """
+        if self._backend_kind is None:
+            if self._backend_request == "auto":
+                self._backend_kind = (
+                    "sparse"
+                    if self.size >= SPARSE_AUTO_MIN and sparse_supported(
+                        self._coords, self.params, self.metric,
+                        self.channel, cutoff=self._cutoff,
+                    )
+                    else "dense"
+                )
+            else:
+                self._backend_kind = self._backend_request
+        return self._backend_kind
+
+    @property
+    def sparse_backend(self) -> SparseGainBackend:
+        """The lazily built sparse backend (sparse mode only)."""
+        if self.backend_kind != "sparse":
+            raise ProtocolError(
+                f"network {self.name!r} runs the dense backend"
+            )
+        if self._backend_obj is None:
+            if not isinstance(self.metric, EuclideanMetric):
+                raise ProtocolError(
+                    "the sparse backend needs coordinate geometry "
+                    "(EuclideanMetric); this network's metric is "
+                    f"{type(self.metric).__name__}"
+                )
+            self._backend_obj = SparseGainBackend(
+                self._coords, self.params, self.channel, self._cutoff
+            )
+        return self._backend_obj
+
+    @property
+    def gain_operator(self):
+        """What the resolvers consume: dense gains or the sparse backend.
+
+        Every :mod:`repro.fastsim` kernel passes this to
+        :func:`repro.sinr.reception.resolve_reception_batch`, which
+        dispatches on the type (DESIGN.md §2.2).
+        """
+        if self.backend_kind == "sparse":
+            return self.sparse_backend
+        return self.gains
+
+    @property
+    def cutoff(self) -> float:
+        """The sparse near-field cutoff radius in effect."""
+        return float(
+            self._cutoff if self._cutoff is not None
+            else default_cutoff(self.params)
+        )
+
+    # ------------------------------------------------------------------
     # communication graph
     # ------------------------------------------------------------------
     @property
     def graph(self) -> nx.Graph:
-        """The communication graph (edges at distance ``<= (1-eps) r``)."""
+        """The communication graph (edges at distance ``<= (1-eps) r``).
+
+        In sparse mode the edge list comes from cell-index neighbour
+        queries (the comm radius is below the cutoff by construction),
+        so the dense distance matrix is never materialized; the edges
+        are identical to the dense construction bit for bit.
+        """
         if self._graph is None:
-            self._graph = graph_utils.communication_graph(
-                self.distances, self.params.comm_radius
-            )
+            if self.backend_kind == "sparse":
+                ii, jj = self.sparse_backend.pairs_within(
+                    self.params.comm_radius
+                )
+                graph = nx.Graph()
+                graph.add_nodes_from(range(self.size))
+                graph.add_edges_from(zip(ii.tolist(), jj.tolist()))
+                self._graph = graph
+            else:
+                self._graph = graph_utils.communication_graph(
+                    self.distances, self.params.comm_radius
+                )
         return self._graph
 
     @property
     def is_connected(self) -> bool:
-        """Whether the communication graph is connected."""
-        return self.size == 1 or nx.is_connected(self.graph)
+        """Whether the communication graph is connected.
+
+        Sparse mode answers with a frontier BFS over the CSR near field
+        — no networkx graph object is built for the check.
+        """
+        if self.size == 1:
+            return True
+        if self.backend_kind == "sparse" and self._graph is None:
+            return self.sparse_backend.connected(self.params.comm_radius)
+        return nx.is_connected(self.graph)
 
     @property
     def diameter(self) -> int:
@@ -175,21 +296,30 @@ class Network:
         keys its shared-memory registry and the on-disk result cache on
         this value (DESIGN.md §6.3), so networks differing only in
         channel never replay each other's results.
+
+        Dense-mode fingerprints are byte-identical to pre-backend
+        releases, so existing result caches stay valid; sparse mode
+        appends a ``("sparse-backend", cutoff)`` marker because its
+        conservative reception decisions may differ from dense ones —
+        the two backends must never replay each other's cache entries.
         """
         if self._fingerprint is None:
-            digest = hashlib.sha256()
-            digest.update(
-                repr(
-                    (
-                        self._coords.shape,
-                        str(self._coords.dtype),
-                        type(self.metric).__name__,
-                        self.metric.growth_dimension,
-                        self.params,
-                        self.channel.identity(),
-                    )
-                ).encode()
+            identity = (
+                self._coords.shape,
+                str(self._coords.dtype),
+                type(self.metric).__name__,
+                self.metric.growth_dimension,
+                self.params,
+                self.channel.identity(),
             )
+            if self.backend_kind == "sparse":
+                from repro.sinr.sparse import CELLS_PER_CUTOFF
+
+                identity = identity + (
+                    ("sparse-backend", self.cutoff, CELLS_PER_CUTOFF),
+                )
+            digest = hashlib.sha256()
+            digest.update(repr(identity).encode())
             digest.update(np.ascontiguousarray(self._coords).tobytes())
             explicit = getattr(self.metric, "_matrix", None)
             if explicit is not None:
@@ -203,7 +333,18 @@ class Network:
     # derived views
     # ------------------------------------------------------------------
     def ball(self, center: int, radius: float) -> np.ndarray:
-        """Indices of stations within ``radius`` of station ``center``."""
+        """Indices of stations within ``radius`` of station ``center``.
+
+        Sparse mode serves radii up to the cutoff from the cell index;
+        larger radii (rare — analysis code on small networks) fall back
+        to the dense distance matrix.
+        """
+        if (
+            self.backend_kind == "sparse"
+            and self._dist is None
+            and radius <= self.cutoff
+        ):
+            return self.sparse_backend.neighbors_within(center, radius)
         return np.flatnonzero(self.distances[center] <= radius)
 
     def with_params(self, params: SINRParameters) -> "Network":
@@ -215,6 +356,7 @@ class Network:
         return Network(
             np.array(self._coords), params=params, metric=self.metric,
             name=self.name, channel=self.channel,
+            backend=self._backend_request, cutoff=self._cutoff,
         )
 
     def with_channel(self, channel: ChannelModel) -> "Network":
@@ -227,6 +369,7 @@ class Network:
         return Network(
             np.array(self._coords), params=self.params, metric=self.metric,
             name=self.name, channel=channel,
+            backend=self._backend_request, cutoff=self._cutoff,
         )
 
     def describe(self) -> dict:
@@ -243,6 +386,7 @@ class Network:
             "beta": self.params.beta,
             "eps": self.params.eps,
             "channel": self.channel.identity()[0],
+            "backend": self.backend_kind,
         }
 
     def __repr__(self) -> str:

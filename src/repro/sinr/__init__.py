@@ -28,8 +28,18 @@ from repro.sinr.channel import (
     rectangle,
 )
 from repro.sinr.reception import resolve_reception, sinr_values, NO_SENDER
+from repro.sinr.sparse import (
+    SparseGainBackend,
+    certified_cutoff,
+    default_cutoff,
+    far_field_tail_bound,
+)
 
 __all__ = [
+    "SparseGainBackend",
+    "certified_cutoff",
+    "default_cutoff",
+    "far_field_tail_bound",
     "SINRParameters",
     "ParameterBounds",
     "gain_matrix",

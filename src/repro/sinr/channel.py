@@ -73,6 +73,24 @@ class ChannelModel(ABC):
         and hence every cache key hashes it.
         """
 
+    def radial_gain(
+        self, dist: np.ndarray, params: SINRParameters
+    ) -> Optional[np.ndarray]:
+        """Per-distance gains for *radial* channels, else ``None``.
+
+        The sparse backend (DESIGN.md §2.2) evaluates gains pair by pair
+        instead of as a matrix, which is only sound when the gain is a
+        function of distance alone.  Radial models override this to
+        return the gain of each entry of a 1-D distance array — and the
+        values must be **bitwise identical** to the corresponding dense
+        :meth:`gain` matrix entries (same clamping, same elementwise
+        expression), because the covered-cutoff regime promises exact
+        equality with the dense resolver.  Non-radial models (shadowing
+        draws keyed to station indices, obstacle geometry) inherit this
+        ``None`` default and stay on the dense backend.
+        """
+        return None
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}{self.identity()!r}"
 
@@ -96,6 +114,10 @@ class UniformPower(ChannelModel):
 
     def gain(self, dist, coords, params) -> np.ndarray:
         return gain_matrix(dist, params.power, params.alpha)
+
+    def radial_gain(self, dist, params) -> np.ndarray:
+        safe = np.maximum(dist, MIN_DISTANCE)
+        return params.power * safe ** (-params.alpha)
 
     def identity(self) -> tuple:
         return ("uniform-power",)
@@ -186,6 +208,19 @@ class DualSlope(ChannelModel):
         gain = np.where(safe <= self.breakpoint, near, far)
         np.fill_diagonal(gain, 0.0)
         return gain
+
+    def radial_gain(self, dist, params) -> np.ndarray:
+        alpha_far = (
+            params.alpha + 1.0 if self.alpha_far is None else self.alpha_far
+        )
+        safe = np.maximum(dist, MIN_DISTANCE)
+        near = params.power * safe ** (-params.alpha)
+        far = (
+            params.power
+            * self.breakpoint ** (alpha_far - params.alpha)
+            * safe ** (-alpha_far)
+        )
+        return np.where(safe <= self.breakpoint, near, far)
 
     def identity(self) -> tuple:
         return ("dual-slope", self.breakpoint, self.alpha_far)

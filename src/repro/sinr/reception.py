@@ -19,31 +19,59 @@ import numpy as np
 #: Sentinel in the sender array for "heard nothing this round".
 NO_SENDER: int = -1
 
+#: Read-only per-``n`` listener index arrays.  Both resolvers index the
+#: listener axis with ``arange(n)`` every round; caching the array turns
+#: a per-round allocation into a dictionary hit (a handful of distinct
+#: ``n`` values are ever live at once).
+_ARANGE_CACHE: dict[int, np.ndarray] = {}
+_ARANGE_CACHE_LIMIT = 16
+
+
+def _listener_index(n: int) -> np.ndarray:
+    arr = _ARANGE_CACHE.get(n)
+    if arr is None:
+        while len(_ARANGE_CACHE) >= _ARANGE_CACHE_LIMIT:
+            # Evict one entry (insertion order ~ oldest) instead of
+            # wiping hot sizes wholesale — same discipline as
+            # _RANK_CACHE below.
+            _ARANGE_CACHE.pop(next(iter(_ARANGE_CACHE)))
+        arr = np.arange(n)
+        arr.setflags(write=False)
+        _ARANGE_CACHE[n] = arr
+    else:
+        _ARANGE_CACHE[n] = _ARANGE_CACHE.pop(n)  # refresh recency
+    return arr
+
 
 def sinr_values(
-    gain: np.ndarray,
+    gain,
     transmitters: np.ndarray,
     noise: float,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Best-transmitter SINR at every station.
 
-    :param gain: ``(n, n)`` gain matrix.
+    :param gain: ``(n, n)`` gain matrix, or a
+        :class:`~repro.sinr.sparse.SparseGainBackend` (CSR near field +
+        certified far field; the returned SINR is then the certified
+        lower bound, DESIGN.md §2.2).
     :param transmitters: index array of this round's transmitters.
     :param noise: ambient noise ``N``.
     :returns: ``(best_sender, sinr)`` — for each station, the index of the
         strongest transmitter (``NO_SENDER`` if none transmit) and the SINR
         of that transmitter at the station (0 where no sender).
     """
+    sparse = getattr(gain, "sinr_values", None)
+    if sparse is not None:
+        return sparse(transmitters, noise)
     n = gain.shape[0]
     transmitters = np.asarray(transmitters, dtype=np.intp)
     best_sender = np.full(n, NO_SENDER, dtype=np.intp)
-    sinr = np.zeros(n)
     if transmitters.size == 0:
-        return best_sender, sinr
+        return best_sender, np.zeros(n)
     tx_gain = gain[transmitters]                 # (|T|, n)
     total = tx_gain.sum(axis=0)                  # (n,)
     strongest_pos = np.argmax(tx_gain, axis=0)   # (n,) positions into T
-    strongest_gain = tx_gain[strongest_pos, np.arange(n)]
+    strongest_gain = tx_gain[strongest_pos, _listener_index(n)]
     interference = total - strongest_gain
     sinr = strongest_gain / (noise + interference)
     best_sender = transmitters[strongest_pos]
@@ -122,7 +150,7 @@ def _listener_ranking(gain: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     dtype = np.int16 if n < _SENTINEL_16 else np.int32
     rank = np.argsort(-gain, axis=0, kind="stable").T.astype(dtype)
     position = np.empty_like(rank)
-    position[np.arange(n)[:, None], rank] = np.arange(n, dtype=dtype)
+    position[_listener_index(n)[:, None], rank] = np.arange(n, dtype=dtype)
     while len(_RANK_CACHE) >= _RANK_CACHE_LIMIT:
         # Bound the cache by evicting the least recently used entry (the
         # insertion-ordered dict front, given the hit refresh above).  The
@@ -201,7 +229,7 @@ def _strongest_transmitters(
     )
     best_pos = masked_pos.min(axis=1)
     valid = best_pos < sentinel
-    listeners = np.arange(n)[None, :]
+    listeners = _listener_index(n)[None, :]
     strongest = rank[
         listeners, np.where(valid, best_pos, 0)
     ].astype(np.intp)
@@ -210,7 +238,7 @@ def _strongest_transmitters(
 
 
 def resolve_reception_batch(
-    gain: np.ndarray,
+    gain,
     tx_mask: np.ndarray,
     noise: float,
     beta: float,
@@ -229,8 +257,18 @@ def resolve_reception_batch(
     ``max_elements``) it rides in, which is the contract the sweep
     engine builds on (DESIGN.md §6.2).
 
+    ``gain`` may be a :class:`~repro.sinr.sparse.SparseGainBackend`
+    instead of a dense matrix: the per-listener CSR scan replaces the
+    ``(B, n, k)`` ranking gather, reception decisions are conservative
+    under the certified truncation band, and bitwise equal to the dense
+    path whenever the backend's cutoff covers the deployment
+    (DESIGN.md §2.2).
+
     :returns: ``(B, n)`` integer array of heard senders.
     """
+    sparse = getattr(gain, "resolve_reception_batch", None)
+    if sparse is not None:
+        return sparse(tx_mask, noise, beta)
     tx_mask = np.asarray(tx_mask, dtype=bool)
     n = gain.shape[0]
     B = tx_mask.shape[0]
@@ -257,7 +295,7 @@ def _resolve_slab(
 
 
 def resolve_reception(
-    gain: np.ndarray,
+    gain,
     transmitters: np.ndarray,
     noise: float,
     beta: float,
@@ -267,11 +305,15 @@ def resolve_reception(
     A station ``u`` receives from ``v`` iff ``v`` transmits, ``u`` does
     not, and ``SINR(v, u, T) >= beta``.  Transmitters never receive
     (half-duplex, Sect. 1.1 "a station can either act as a sender or as a
-    receiver during a round").
+    receiver during a round").  Accepts a dense gain matrix or a
+    :class:`~repro.sinr.sparse.SparseGainBackend`.
 
     :returns: length-``n`` integer array: the sender index heard by each
         station, or :data:`NO_SENDER`.
     """
+    sparse = getattr(gain, "resolve_reception", None)
+    if sparse is not None:
+        return sparse(transmitters, noise, beta)
     best_sender, sinr = sinr_values(gain, transmitters, noise)
     heard = np.where(sinr >= beta, best_sender, NO_SENDER)
     transmitters = np.asarray(transmitters, dtype=np.intp)

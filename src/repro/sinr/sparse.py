@@ -1,0 +1,872 @@
+"""Sparse geometry-certified SINR backend (DESIGN.md §2.2).
+
+The dense resolver materializes an ``(n, n)`` gain matrix and pays
+O(n^2) memory and O(n^2 log n) ranking setup — a wall at a few thousand
+stations.  This module is the second implementation of the hot path,
+built on the deployment's geometry instead of its full pairwise
+structure:
+
+* a **uniform cell index** buckets stations into cells of side
+  ``h = R / s`` (``s`` = :data:`CELLS_PER_CUTOFF`); all pairs within
+  Chebyshev distance ``s`` in cell space — a superset of every pair at
+  distance ``<= R`` — get *exact* gains, stored as CSR rows per
+  listener;
+* **far-field interference** (cell offsets with some axis ``> s``, so
+  pair distance ``>= R``) is aggregated per cell: each round's
+  transmitter counts per cell are convolved (FFT over the cell grid)
+  with the radial gain kernel evaluated at cell-center offsets;
+* the **truncation error** of that aggregation is certified: every far
+  pair's per-axis distance lies within one cell side of its cell-center
+  offset, so a second convolution with the bracket kernel
+  ``g(lo) - g(hi)`` bounds ``|I_far - I_far_estimate|`` per listener
+  per round, and the bound is folded *conservatively* into the SINR
+  test (the denominator uses ``I_near + I_far_estimate + band``).
+
+Consequences, proved in ``tests/test_hypothesis_sparse.py``:
+
+* receptions accepted by the sparse resolver are a **subset** of the
+  dense resolver's (conservative acceptance — a certified reception is
+  a true reception);
+* when the cutoff covers the deployment (per-axis extent at most the
+  cutoff, so every cell pair is Chebyshev-``s`` and the far set is
+  empty) the sparse resolver is **bitwise equal** to the dense batched
+  resolver: the near scan folds gains along ascending sender index
+  exactly like the dense einsum contraction.
+
+The cutoff must be at least the broadcast range ``r``: any transmitter
+that clears ``beta >= 1`` at a listener sits within ``r`` of it
+(``g >= beta (N + I) >= beta N`` pins ``d <= r``), so the strongest
+*receivable* transmitter is always in the near field and truncation can
+only ever suppress sub-threshold far senders.
+
+The growth dimension enters through the *cutoff choice*
+(:func:`certified_cutoff` / :func:`far_field_tail_bound`): growth-bounded
+ring populations around any listener give a certifiable upper bound on
+far-field interference beyond ``R`` under the protocols' bounded active
+density, the same tail argument as the stochastic-geometry literature
+(PAPERS.md: geometric routing asymptotics; wireless spatial networks).
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import product
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import DeploymentError, GeometryError, ProtocolError
+from repro.geometry.growth import growth_dimension_estimate
+from repro.geometry.metric import MIN_DISTANCE, pairwise_distances
+from repro.sinr.params import SINRParameters
+
+#: Sentinel mirrored from the reception module (imported there lazily to
+#: avoid a cycle: reception dispatches *to* this module's backend).
+NO_SENDER: int = -1
+
+#: Default cutoff radius as a multiple of the broadcast range ``r``.
+DEFAULT_CUTOFF_SCALE = 2.0
+
+#: Cells per cutoff radius: cell side is ``cutoff / CELLS_PER_CUTOFF``
+#: and the exact near field spans Chebyshev-``CELLS_PER_CUTOFF`` cell
+#: neighbourhoods.  Finer cells shrink the certified far-field bracket
+#: (pair distances deviate from cell-center distances by at most one
+#: cell diagonal) at the cost of a larger FFT grid; 3 keeps the band
+#: well below typical reception margins while the grid stays tiny.
+CELLS_PER_CUTOFF = 3
+
+#: ``Network(backend="auto")`` switches to the sparse backend at this
+#: size (below it the dense resolver's ranking cache wins).
+SPARSE_AUTO_MIN = 4096
+
+#: Cell-count guard: deployments whose bounding box spans more than this
+#: many cells *per station* (exponential chains, extreme aspect ratios)
+#: stay dense — the cell grid itself would dominate memory.
+MAX_CELLS_PER_STATION = 32
+MIN_CELL_BUDGET = 65536
+
+#: Relative slack folded onto the certified band to absorb FFT rounding
+#: (the bracket kernels are exact per pair; the convolution is not).
+FFT_SLACK_REL = 1e-9
+
+
+def default_cutoff(params: SINRParameters) -> float:
+    """The deterministic default cutoff: ``2 r`` (fingerprint-stable)."""
+    return DEFAULT_CUTOFF_SCALE * params.broadcast_range
+
+
+# ----------------------------------------------------------------------
+# growth-certified tail bounds (cutoff choice, DESIGN.md §2.2)
+# ----------------------------------------------------------------------
+def far_field_tail_bound(
+    params: SINRParameters,
+    cutoff: float,
+    gamma: float,
+    active_per_ball: float,
+    k_max: int,
+) -> float:
+    """Certified far-field interference bound from bounded growth.
+
+    Stations beyond distance ``R`` from a listener are grouped into
+    rings ``A_k = {v : kR <= d < (k+1)R}``, ``k >= 1``.  With the
+    paper's covering normalization ``chi(c d, d) <= ceil(c)^gamma``
+    (Sect. 2; :func:`repro.geometry.growth.euclidean_covering_bound`),
+    the ball ``B(u, (k+1)R)`` is covered by ``ceil(2(k+1))^gamma`` balls
+    of radius ``R/2``; if at most ``active_per_ball`` stations per
+    radius-``R/2`` ball transmit — the protocols' Theta(1/mass)
+    transmission discipline keeps the *expected* active density at a
+    constant per covering ball — each ring contributes at most
+    ``ceil(2(k+1))^gamma * active_per_ball`` transmitters of gain at
+    most ``P (kR)^-alpha``.  Deployments are finite, so the sum is
+    truncated at ``k_max ~ extent / R`` rings; for ``alpha > gamma + 1``
+    it is bounded by a constant independent of the deployment.
+
+    :param active_per_ball: transmitter budget per radius-``R/2``
+        covering ball (pass the *population* bound for an unconditional
+        worst case; pass ``O(1)`` for the protocol-invariant bound).
+    """
+    if cutoff <= 0 or gamma <= 0 or k_max < 0:
+        raise GeometryError("cutoff, gamma and k_max must be positive")
+    total = 0.0
+    for k in range(1, k_max + 1):
+        total += math.ceil(2 * (k + 1)) ** gamma * float(k) ** (-params.alpha)
+    return params.power * active_per_ball * cutoff ** (-params.alpha) * total
+
+
+def _ball_occupancy_bound(coords: np.ndarray, radius: float) -> int:
+    """Upper bound on ``max_x |B(x, radius)|`` over the deployment.
+
+    Any radius-``radius`` ball is contained in the Chebyshev-1 cell
+    neighbourhood (cell side ``radius``) of the cell holding its center,
+    so the max neighbourhood occupancy bounds every ball's population.
+    """
+    n, dim = coords.shape
+    if n == 0:
+        return 0
+    origin = coords.min(axis=0)
+    idx = np.floor((coords - origin) / radius).astype(np.int64)
+    shape = idx.max(axis=0) + 1
+    flat = np.ravel_multi_index(tuple(idx.T), tuple(shape))
+    counts = np.bincount(flat, minlength=int(np.prod(shape)))
+    grid = counts.reshape(tuple(shape))
+    best = np.zeros_like(grid)
+    for offset in product((-1, 0, 1), repeat=dim):
+        shifted = grid
+        for axis, off in enumerate(offset):
+            shifted = np.roll(shifted, off, axis=axis)
+            # Zero the wrapped slab so rolls never alias opposite edges.
+            sl = [slice(None)] * dim
+            if off == 1:
+                sl[axis] = slice(0, 1)
+            elif off == -1:
+                sl[axis] = slice(-1, None)
+            if off != 0:
+                shifted = shifted.copy()
+                shifted[tuple(sl)] = 0
+        best = best + shifted
+    return int(best.max())
+
+
+def certified_cutoff(
+    coords: np.ndarray,
+    params: SINRParameters,
+    *,
+    gamma: Optional[float] = None,
+    active_per_ball: float = 1.0,
+    budget_fraction: float = 0.25,
+    candidates: Optional[list] = None,
+) -> float:
+    """Smallest candidate cutoff whose certified tail fits the budget.
+
+    Walks a ladder of cutoff candidates and returns the first whose
+    :func:`far_field_tail_bound` is at most ``budget_fraction`` of the
+    interference margin a communication-graph edge tolerates
+    (:meth:`~repro.sinr.params.SINRParameters.min_gap_for_range` at the
+    comm radius).  ``gamma`` defaults to the deployment's *measured*
+    growth dimension (:func:`repro.geometry.growth.growth_dimension_estimate`
+    on a deterministic subsample), floored at 1.
+
+    Falls back to the largest candidate when none certifies — a larger
+    cutoff only ever tightens the truncation.
+    """
+    coords = np.asarray(coords, dtype=float)
+    if coords.ndim == 1:
+        coords = coords[:, None]
+    r = params.broadcast_range
+    if candidates is None:
+        candidates = [r, 1.25 * r, 1.5 * r, 2.0 * r, 3.0 * r]
+    candidates = sorted(c for c in candidates if c >= r)
+    if not candidates:
+        raise GeometryError("every cutoff candidate is below the range r")
+    if gamma is None:
+        step = max(1, coords.shape[0] // 512)
+        sub = coords[::step][:512]
+        gamma = growth_dimension_estimate(pairwise_distances(sub))
+        gamma = max(gamma, 1.0)
+    extent = float(np.linalg.norm(coords.max(axis=0) - coords.min(axis=0)))
+    budget = budget_fraction * params.min_gap_for_range(params.comm_radius)
+    for cutoff in candidates:
+        k_max = max(1, math.ceil(extent / cutoff))
+        bound = far_field_tail_bound(
+            params, cutoff, gamma, active_per_ball, k_max
+        )
+        if bound <= budget:
+            return float(cutoff)
+    return float(candidates[-1])
+
+
+# ----------------------------------------------------------------------
+# the uniform cell index
+# ----------------------------------------------------------------------
+class CellIndex:
+    """Uniform spatial hash over station coordinates.
+
+    Cells are axis-aligned boxes of side ``cell_size``; station ``i``
+    lives in cell ``floor((coords[i] - origin) / cell_size)`` per axis.
+    Buckets are realized as one index array sorted by flat cell id, so
+    every neighbourhood query is a handful of ``searchsorted`` calls.
+
+    :param reach: Chebyshev radius (in cells) of the "near"
+        neighbourhood served by :meth:`adjacent_pair_chunks` and
+        :meth:`candidates_near`; pairs at Euclidean distance
+        ``<= reach * cell_size`` are guaranteed to be near.
+    """
+
+    def __init__(self, coords: np.ndarray, cell_size: float, reach: int = 1):
+        if cell_size <= 0:
+            raise GeometryError(
+                f"cell size must be positive, got {cell_size}"
+            )
+        if reach < 1:
+            raise GeometryError(f"cell reach must be >= 1, got {reach}")
+        coords = np.asarray(coords, dtype=float)
+        self.coords = coords
+        self.h = float(cell_size)
+        self.reach = int(reach)
+        self.n, self.dim = coords.shape
+        self.origin = coords.min(axis=0)
+        span = coords.max(axis=0) - self.origin
+        shape = np.floor(span / self.h).astype(np.int64) + 1
+        self.shape = tuple(int(s) for s in shape)
+        self.n_cells = int(np.prod(shape))
+        idx = np.floor((coords - self.origin) / self.h).astype(np.int64)
+        np.clip(idx, 0, shape - 1, out=idx)
+        self.cell_vec = idx
+        self.cell_of = np.ravel_multi_index(tuple(idx.T), self.shape)
+        # Bucket layout: stations sorted (stably) by flat cell id.
+        self.order = np.argsort(self.cell_of, kind="stable")
+        sorted_cells = self.cell_of[self.order]
+        self.occupied, self.bucket_start, self.bucket_count = np.unique(
+            sorted_cells, return_index=True, return_counts=True
+        )
+
+    def _bucket_of(self, flat_ids: np.ndarray) -> np.ndarray:
+        """Bucket index of each flat cell id (-1 where unoccupied)."""
+        pos = np.searchsorted(self.occupied, flat_ids)
+        pos = np.minimum(pos, self.occupied.size - 1)
+        hit = self.occupied[pos] == flat_ids
+        return np.where(hit, pos, -1)
+
+    def adjacent_pair_chunks(self):
+        """Yield ``(i, j)`` ordered-pair chunks over Chebyshev-``reach``
+        cell neighbourhoods.
+
+        Every ordered pair of distinct stations whose cells differ by at
+        most ``reach`` per axis appears exactly once across the chunks
+        (each offset contributes one direction; the opposite offset the
+        other).  Pairs at distance ``<= reach * cell_size`` are
+        guaranteed to be covered; pairs in cells beyond the reach are at
+        distance ``> (reach - 1) * cell_size`` per exceeding axis.
+        """
+        shape = np.asarray(self.shape, dtype=np.int64)
+        occ_vec = np.stack(
+            np.unravel_index(self.occupied, self.shape), axis=1
+        )
+        span = range(-self.reach, self.reach + 1)
+        for offset in product(span, repeat=self.dim):
+            off = np.asarray(offset, dtype=np.int64)
+            nb_vec = occ_vec + off
+            valid = np.all((nb_vec >= 0) & (nb_vec < shape), axis=1)
+            if not valid.any():
+                continue
+            src = np.flatnonzero(valid)
+            nb_flat = np.ravel_multi_index(
+                tuple(nb_vec[valid].T), self.shape
+            )
+            dst = self._bucket_of(nb_flat)
+            hit = dst >= 0
+            if not hit.any():
+                continue
+            src, dst = src[hit], dst[hit]
+            ca = self.bucket_count[src]
+            cb = self.bucket_count[dst]
+            pair_counts = ca * cb
+            total = int(pair_counts.sum())
+            if total == 0:
+                continue
+            cum = np.zeros(pair_counts.size, dtype=np.int64)
+            np.cumsum(pair_counts[:-1], out=cum[1:])
+            local = np.arange(total, dtype=np.int64) - np.repeat(
+                cum, pair_counts
+            )
+            cb_rep = np.repeat(cb, pair_counts)
+            a_local = local // cb_rep
+            b_local = local - a_local * cb_rep
+            i = self.order[np.repeat(self.bucket_start[src], pair_counts)
+                           + a_local]
+            j = self.order[np.repeat(self.bucket_start[dst], pair_counts)
+                           + b_local]
+            if all(o == 0 for o in offset):
+                keep = i != j
+                i, j = i[keep], j[keep]
+            yield i, j
+
+    def candidates_near(self, point: np.ndarray) -> np.ndarray:
+        """Stations in the Chebyshev-``reach`` cell neighbourhood of a point.
+
+        Complete for any query radius ``<= reach * cell_size`` around a
+        point inside the indexed bounding box (clipped cells at the
+        boundary still cover exterior points within one cell side).
+        """
+        point = np.asarray(point, dtype=float)
+        cell = np.floor((point - self.origin) / self.h).astype(np.int64)
+        np.clip(cell, 0, np.asarray(self.shape) - 1, out=cell)
+        chunks = []
+        span = range(-self.reach, self.reach + 1)
+        for offset in product(span, repeat=self.dim):
+            nb = cell + np.asarray(offset, dtype=np.int64)
+            if np.any(nb < 0) or np.any(nb >= np.asarray(self.shape)):
+                continue
+            bucket = self._bucket_of(
+                np.asarray([np.ravel_multi_index(tuple(nb), self.shape)])
+            )[0]
+            if bucket < 0:
+                continue
+            start = self.bucket_start[bucket]
+            chunks.append(
+                self.order[start:start + self.bucket_count[bucket]]
+            )
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(chunks)
+
+
+# ----------------------------------------------------------------------
+# the backend
+# ----------------------------------------------------------------------
+class SparseGainBackend:
+    """CSR near field + certified per-cell far field for one deployment.
+
+    Drop-in replacement for the dense gain matrix in
+    :mod:`repro.sinr.reception` — the resolver functions there dispatch
+    to :meth:`resolve_reception_batch` / :meth:`sinr_values` when handed
+    a backend instead of an ndarray.  Construction requires a *radial*
+    channel (:meth:`repro.sinr.channel.ChannelModel.radial_gain`); the
+    per-pair gains are bitwise identical to the dense matrix entries.
+
+    :param coords: ``(n, d)`` station coordinates.
+    :param params: SINR parameters; ``cutoff`` must be at least the
+        broadcast range they induce.
+    :param channel: channel model; must be radial (distance-only).
+    :param cutoff: near-field cutoff radius ``R`` (default ``2 r``).
+    """
+
+    def __init__(
+        self,
+        coords: np.ndarray,
+        params: SINRParameters,
+        channel=None,
+        cutoff: Optional[float] = None,
+        *,
+        _csr: Optional[tuple] = None,
+    ):
+        coords = np.asarray(coords, dtype=float)
+        if coords.ndim == 1:
+            coords = coords[:, None]
+        if channel is None:
+            from repro.sinr.channel import default_channel
+
+            channel = default_channel()
+        self.coords = coords
+        self.params = params
+        self.channel = channel
+        self.cutoff = float(
+            cutoff if cutoff is not None else default_cutoff(params)
+        )
+        if self.cutoff < params.broadcast_range:
+            raise ProtocolError(
+                f"sparse cutoff {self.cutoff} is below the broadcast range "
+                f"{params.broadcast_range}; far transmitters could then be "
+                "receivable and truncation would not be certifiable"
+            )
+        probe = channel.radial_gain(np.asarray([1.0]), params)
+        if probe is None:
+            raise ProtocolError(
+                f"channel {channel.identity()[0]!r} is not radial; the "
+                "sparse backend needs gains that depend on distance only "
+                "(use backend='dense' for this channel)"
+            )
+        self.n = coords.shape[0]
+        reach = CELLS_PER_CUTOFF
+        self.cells = CellIndex(coords, self.cutoff / reach, reach=reach)
+        budget = max(MIN_CELL_BUDGET, MAX_CELLS_PER_STATION * self.n)
+        if self.cells.n_cells > budget:
+            raise ProtocolError(
+                f"deployment spans {self.cells.n_cells} cells for "
+                f"{self.n} stations at cutoff {self.cutoff}; the cell grid "
+                "would dominate memory (raise the cutoff or use the dense "
+                "backend)"
+            )
+        if _csr is not None:
+            self.data, self.indices, self.indptr = _csr
+            self._dists: Optional[np.ndarray] = None
+        else:
+            self._build_csr()
+        #: Far set emptiness: with at most ``reach + 1`` cells per axis
+        #: every cell pair is within the near reach — the exact-equality
+        #: regime (guaranteed when the per-axis extent is <= cutoff).
+        self.far_empty = all(s <= reach + 1 for s in self.cells.shape)
+        self._kernels: Optional[tuple] = None
+
+    # -- construction --------------------------------------------------
+    def _radial(self, dist: np.ndarray) -> np.ndarray:
+        gains = self.channel.radial_gain(
+            np.maximum(dist, MIN_DISTANCE), self.params
+        )
+        assert gains is not None
+        return gains
+
+    def _build_csr(self) -> None:
+        coords = self.coords
+        i_parts, j_parts, d_parts = [], [], []
+        for i, j in self.cells.adjacent_pair_chunks():
+            diff = coords[i] - coords[j]
+            dist = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+            if dist.size and float(dist.min()) < MIN_DISTANCE:
+                raise DeploymentError(
+                    "deployment contains co-located stations; the SINR "
+                    "model requires distinct positions"
+                )
+            i_parts.append(i)
+            j_parts.append(j)
+            d_parts.append(dist)
+        if i_parts:
+            listeners = np.concatenate(i_parts)
+            senders = np.concatenate(j_parts)
+            dists = np.concatenate(d_parts)
+        else:
+            listeners = np.empty(0, dtype=np.int64)
+            senders = np.empty(0, dtype=np.int64)
+            dists = np.empty(0)
+        # CSR rows per listener with columns in ascending sender order:
+        # the fold order the exact-equality contract relies on.
+        perm = np.lexsort((senders, listeners))
+        listeners, senders, dists = (
+            listeners[perm], senders[perm], dists[perm]
+        )
+        counts = np.bincount(listeners, minlength=self.n)
+        self.indptr = np.zeros(self.n + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.indptr[1:])
+        idx_dtype = np.int32 if self.n <= np.iinfo(np.int32).max else np.int64
+        self.indices = senders.astype(idx_dtype)
+        self.data = self._radial(dists)
+        self._dists = dists
+
+    @classmethod
+    def from_arrays(
+        cls,
+        coords: np.ndarray,
+        params: SINRParameters,
+        channel,
+        cutoff: float,
+        data: np.ndarray,
+        indices: np.ndarray,
+        indptr: np.ndarray,
+    ) -> "SparseGainBackend":
+        """Rebuild a backend around precomputed CSR arrays.
+
+        Used by the grid layer's fork workers: the (cheap) cell index
+        and far-field kernels are derived from the coordinates, while
+        the CSR arrays are zero-copy views into the parent's
+        shared-memory segment.  The arrays must be exactly the ones a
+        fresh build would produce — they carry the round arithmetic.
+        """
+        return cls(
+            coords, params, channel, cutoff,
+            _csr=(data, indices, indptr),
+        )
+
+    @property
+    def dists(self) -> np.ndarray:
+        """CSR-aligned pair distances (lazy when CSR came from shm)."""
+        if self._dists is None:
+            rows = np.repeat(
+                np.arange(self.n), np.diff(self.indptr)
+            )
+            diff = self.coords[rows] - self.coords[self.indices]
+            self._dists = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        return self._dists
+
+    def nbytes(self) -> int:
+        """Resident bytes of the backend's persistent arrays."""
+        total = self.data.nbytes + self.indices.nbytes + self.indptr.nbytes
+        total += self.cells.cell_of.nbytes + self.cells.order.nbytes
+        if self._dists is not None:
+            total += self._dists.nbytes
+        if self._kernels is not None:
+            total += sum(k.nbytes for k in self._kernels[0:2])
+        return total
+
+    # -- far-field machinery -------------------------------------------
+    def _far_kernels(self) -> tuple:
+        """Padded FFT kernels ``(K_hat, E_hat, padded_shape)`` (lazy).
+
+        ``K[delta]`` is the radial gain at the cell-center offset
+        ``h * |delta|`` for far offsets (some axis ``|delta_d| > reach``),
+        zero on the Chebyshev-``reach`` near set.  ``E[delta]`` brackets
+        the per-pair error: a pair in cells at offset ``delta`` has
+        distance in ``[h |max(|delta|-1, 0)|, h |(|delta|+1)|]``
+        (per-axis triangle bounds), so ``g(lo) - g(hi)`` dominates the
+        deviation of any far pair's gain from the center value.
+        """
+        if self._kernels is not None:
+            return self._kernels
+        shape = self.cells.shape
+        h = self.cells.h
+        reach = self.cells.reach
+        padded = tuple(2 * s - 1 if s > 1 else 1 for s in shape)
+        axes_off = [
+            np.concatenate(
+                [np.arange(0, s), np.arange(-(s - 1), 0)]
+            ).astype(float)
+            if s > 1 else np.zeros(1)
+            for s in shape
+        ]
+        grids = np.meshgrid(*axes_off, indexing="ij", sparse=False)
+        absg = [np.abs(g) for g in grids]
+        center = h * np.sqrt(sum(g * g for g in grids))
+        lo = h * np.sqrt(
+            sum(np.maximum(g - 1.0, 0.0) ** 2 for g in absg)
+        )
+        hi = h * np.sqrt(sum((g + 1.0) ** 2 for g in absg))
+        far = np.zeros(padded, dtype=bool)
+        for g in absg:
+            far |= g > reach
+        K = np.zeros(padded)
+        E = np.zeros(padded)
+        if far.any():
+            K[far] = self._radial(center[far])
+            E[far] = self._radial(lo[far]) - self._radial(hi[far])
+        axes = tuple(range(len(padded)))
+        K_hat = np.fft.rfftn(K, s=padded, axes=axes)
+        E_hat = np.fft.rfftn(E, s=padded, axes=axes)
+        self._kernels = (K_hat, E_hat, padded)
+        return self._kernels
+
+    def far_band(
+        self, tx_mask: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-listener far-field estimate and certified error band.
+
+        :param tx_mask: ``(B, n)`` boolean transmitter mask.
+        :returns: ``(far_estimate, band)`` — both ``(B, n)``, with
+            ``|I_far - far_estimate| <= band`` guaranteed per listener
+            (band includes the FFT rounding slack).
+        """
+        tx_mask = np.atleast_2d(np.asarray(tx_mask, dtype=bool))
+        B, n = tx_mask.shape
+        if self.far_empty:
+            zeros = np.zeros((B, n))
+            return zeros, zeros.copy()
+        K_hat, E_hat, padded = self._far_kernels()
+        # One batched transform over the trailing cell axes instead of
+        # per-row FFT dispatch: this runs every round of every sweep.
+        axes = tuple(range(1, len(padded) + 1))
+        shape = self.cells.shape
+        region = (slice(None),) + tuple(slice(0, s) for s in shape)
+        cell_of = self.cells.cell_of
+        counts = np.zeros((B, self.cells.n_cells))
+        rows, stations = np.nonzero(tx_mask)
+        np.add.at(counts, (rows, cell_of[stations]), 1.0)
+        counts = counts.reshape((B,) + shape)
+        C_hat = np.fft.rfftn(counts, s=padded, axes=axes)
+        est_cells = np.fft.irfftn(
+            C_hat * K_hat[None], s=padded, axes=axes
+        )[region]
+        err_cells = np.fft.irfftn(
+            C_hat * E_hat[None], s=padded, axes=axes
+        )[region]
+        est = np.maximum(est_cells.reshape(B, -1), 0.0)[:, cell_of]
+        err = np.maximum(err_cells.reshape(B, -1), 0.0)[:, cell_of]
+        return est, err + FFT_SLACK_REL * (est + err)
+
+    def certified_tail_bound(
+        self,
+        gamma: Optional[float] = None,
+        active_per_ball: float = 1.0,
+    ) -> float:
+        """Growth-certified bound on far-field interference beyond ``R``.
+
+        Instantiates :func:`far_field_tail_bound` with this deployment's
+        measured growth dimension and finite ring count.  Pass
+        ``active_per_ball=self.max_ball_occupancy()`` for the
+        unconditional (every-station-transmits) version.
+        """
+        if gamma is None:
+            step = max(1, self.n // 512)
+            sub = self.coords[::step][:512]
+            gamma = max(
+                growth_dimension_estimate(pairwise_distances(sub)), 1.0
+            )
+        span = self.coords.max(axis=0) - self.coords.min(axis=0)
+        extent = float(np.linalg.norm(span))
+        k_max = max(1, math.ceil(extent / self.cutoff))
+        return far_field_tail_bound(
+            self.params, self.cutoff, gamma, active_per_ball, k_max
+        )
+
+    def max_ball_occupancy(self) -> int:
+        """Max population of a radius-``R/2`` ball in this deployment."""
+        return _ball_occupancy_bound(self.coords, self.cutoff / 2.0)
+
+    # -- near-field scan ------------------------------------------------
+    def _row_positions(
+        self, rows: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """CSR storage positions of ``rows``' entries, concatenated in
+        given row order: ``(positions, per-row lengths)``."""
+        starts = self.indptr[rows]
+        lengths = self.indptr[rows + 1] - starts
+        total = int(lengths.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64), lengths
+        offs = np.zeros(lengths.size, dtype=np.int64)
+        np.cumsum(lengths[:-1], out=offs[1:])
+        pos = np.repeat(starts - offs, lengths) + np.arange(
+            total, dtype=np.int64
+        )
+        return pos, lengths
+
+    def _gather_rows(
+        self, rows: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Concatenated CSR entries of ``rows`` in given row order.
+
+        :returns: ``(listeners, values, senders)`` — for symmetric
+            gains the CSR row of sender ``t`` *is* its column, so
+            gathering rows of the transmitter set enumerates each
+            transmitter's contribution at every near listener, rows in
+            ascending ``t`` (the fold order of the exact contract).
+        """
+        pos, lengths = self._row_positions(rows)
+        if pos.size == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, np.empty(0), empty
+        listeners = self.indices[pos].astype(np.int64, copy=False)
+        values = self.data[pos]
+        senders = np.repeat(rows, lengths)
+        return listeners, values, senders
+
+    def _near_scan(
+        self, transmitters: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Exact near-field totals and strongest near sender.
+
+        :returns: ``(total, best_gain, best_sender)`` per listener;
+            ``total`` folds gains in ascending sender order (bincount
+            walks the concatenated rows sequentially), matching the
+            dense einsum contraction bit for bit; ties in ``best_gain``
+            resolve to the lowest sender index like dense argmax.
+        """
+        listeners, values, senders = self._gather_rows(transmitters)
+        total = np.bincount(listeners, weights=values, minlength=self.n)
+        best_gain = np.zeros(self.n)
+        np.maximum.at(best_gain, listeners, values)
+        best_sender = np.full(self.n, self.n, dtype=np.int64)
+        winners = values == best_gain[listeners]
+        np.minimum.at(
+            best_sender, listeners[winners], senders[winners]
+        )
+        return total, best_gain, best_sender
+
+    # -- resolvers -------------------------------------------------------
+    def resolve_reception_batch(
+        self, tx_mask: np.ndarray, noise: float, beta: float
+    ) -> np.ndarray:
+        """Batched Eq. (1) resolution with the certified truncation fold.
+
+        Mirrors :func:`repro.sinr.reception.resolve_reception_batch`:
+        returns the ``(B, n)`` heard-sender array.  The SINR denominator
+        is ``N + I_near + I_far_estimate + band``; with the far set
+        empty it degenerates to the dense expression exactly.
+        """
+        tx_mask = np.asarray(tx_mask, dtype=bool)
+        if tx_mask.ndim != 2 or tx_mask.shape[1] != self.n:
+            raise ValueError(
+                f"tx_mask must be (B, {self.n}), got {tx_mask.shape}"
+            )
+        B = tx_mask.shape[0]
+        heard = np.full((B, self.n), NO_SENDER, dtype=np.intp)
+        far = band = None
+        if not self.far_empty and tx_mask.any():
+            far, band = self.far_band(tx_mask)
+        for b in range(B):
+            transmitters = np.flatnonzero(tx_mask[b])
+            if transmitters.size == 0:
+                continue
+            total, best_gain, best_sender = self._near_scan(transmitters)
+            denom = noise + total - best_gain
+            if far is not None:
+                denom = denom + far[b] + band[b]
+            sinr = np.divide(best_gain, denom)
+            ok = (best_sender < self.n) & (sinr >= beta) & ~tx_mask[b]
+            heard[b, ok] = best_sender[ok]
+        return heard
+
+    def sinr_values(
+        self, transmitters: np.ndarray, noise: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Best near transmitter and its conservative SINR per station.
+
+        The sparse analogue of :func:`repro.sinr.reception.sinr_values`;
+        the SINR is the *certified lower bound* (truncation band folded
+        into the denominator), equal to the dense value when the far set
+        is empty.  Duplicate transmitter indices are collapsed.
+        """
+        transmitters = np.unique(
+            np.asarray(transmitters, dtype=np.int64)
+        )
+        best_sender = np.full(self.n, NO_SENDER, dtype=np.intp)
+        if transmitters.size == 0:
+            return best_sender, np.zeros(self.n)
+        total, best_gain, best = self._near_scan(transmitters)
+        denom = noise + total - best_gain
+        if not self.far_empty:
+            mask = np.zeros((1, self.n), dtype=bool)
+            mask[0, transmitters] = True
+            far, band = self.far_band(mask)
+            denom = denom + far[0] + band[0]
+        sinr = np.divide(best_gain, denom)
+        found = best < self.n
+        best_sender[found] = best[found]
+        return best_sender, sinr
+
+    def resolve_reception(
+        self, transmitters: np.ndarray, noise: float, beta: float
+    ) -> np.ndarray:
+        """Single-round resolution (the ``B = 1`` batched case)."""
+        transmitters = np.asarray(transmitters, dtype=np.int64)
+        mask = np.zeros((1, self.n), dtype=bool)
+        if transmitters.size:
+            mask[0, transmitters] = True
+        return self.resolve_reception_batch(mask, noise, beta)[0]
+
+    # -- geometry queries ------------------------------------------------
+    def pairs_within(
+        self, radius: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """All pairs ``i < j`` at distance ``<= radius <= cutoff``.
+
+        Backed by the CSR near field, which is complete for any radius
+        up to the cell size (= cutoff).
+        """
+        if radius > self.cutoff:
+            raise GeometryError(
+                f"pair query radius {radius} exceeds the cutoff "
+                f"{self.cutoff}; the near field is incomplete beyond it"
+            )
+        rows = np.repeat(np.arange(self.n), np.diff(self.indptr))
+        cols = self.indices.astype(np.int64, copy=False)
+        keep = (self.dists <= radius) & (rows < cols)
+        return rows[keep], cols[keep]
+
+    def neighbors_within(self, station: int, radius: float) -> np.ndarray:
+        """Sorted station indices within ``radius`` of ``station``."""
+        if radius > self.cutoff:
+            raise GeometryError(
+                f"neighbour query radius {radius} exceeds the cutoff "
+                f"{self.cutoff}"
+            )
+        lo, hi = self.indptr[station], self.indptr[station + 1]
+        row = self.indices[lo:hi].astype(np.int64, copy=False)
+        near = row[self.dists[lo:hi] <= radius]
+        out = np.concatenate([near, [station]])
+        out.sort()
+        return out
+
+    def connected(self, radius: float) -> bool:
+        """Connectivity of the distance-``radius`` graph (frontier BFS)."""
+        if self.n <= 1:
+            return True
+        mask = self.dists <= radius
+        seen = np.zeros(self.n, dtype=bool)
+        seen[0] = True
+        frontier = np.asarray([0], dtype=np.int64)
+        reached = 1
+        while frontier.size:
+            pos, _ = self._row_positions(frontier)
+            if pos.size == 0:
+                break
+            nbrs = self.indices[pos][mask[pos]]
+            nxt = np.unique(nbrs.astype(np.int64, copy=False))
+            nxt = nxt[~seen[nxt]]
+            seen[nxt] = True
+            reached += nxt.size
+            frontier = nxt
+        return reached == self.n
+
+    def describe(self) -> dict:
+        """Summary stats used by benches and experiment reports."""
+        nnz = int(self.indices.size)
+        return {
+            "backend": "sparse",
+            "n": self.n,
+            "cutoff": self.cutoff,
+            "cells": self.cells.n_cells,
+            "grid_shape": self.cells.shape,
+            "nnz": nnz,
+            "avg_row": nnz / max(1, self.n),
+            "far_empty": self.far_empty,
+            "nbytes": self.nbytes(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SparseGainBackend(n={self.n}, cutoff={self.cutoff}, "
+            f"nnz={self.indices.size}, far_empty={self.far_empty})"
+        )
+
+
+def sparse_supported(
+    coords: np.ndarray,
+    params: SINRParameters,
+    metric,
+    channel,
+    cutoff: Optional[float] = None,
+) -> bool:
+    """Whether the sparse backend can serve this deployment.
+
+    Requires coordinate geometry (Euclidean metric), a radial channel,
+    a cutoff at least the broadcast range, and a cell grid that stays
+    within the per-station cell budget — all evaluated at the *same*
+    cutoff the backend would actually be built with, so ``"auto"``
+    never selects a backend that then fails to construct.
+    """
+    from repro.geometry.metric import EuclideanMetric
+
+    if not isinstance(metric, EuclideanMetric):
+        return False
+    if channel.radial_gain(np.asarray([1.0]), params) is None:
+        return False
+    if cutoff is None:
+        cutoff = default_cutoff(params)
+    if cutoff < params.broadcast_range:
+        return False
+    coords = np.asarray(coords, dtype=float)
+    if coords.ndim == 1:
+        coords = coords[:, None]
+    h = cutoff / CELLS_PER_CUTOFF
+    span = coords.max(axis=0) - coords.min(axis=0)
+    n_cells = int(np.prod(np.floor(span / h).astype(np.int64) + 1))
+    budget = max(MIN_CELL_BUDGET, MAX_CELLS_PER_STATION * coords.shape[0])
+    return n_cells <= budget

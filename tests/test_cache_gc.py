@@ -1,0 +1,121 @@
+"""Tests for result-cache LRU pruning and the cache_gc tool."""
+
+import os
+import sys
+import time
+
+import pytest
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), os.pardir, "tools")
+)
+import cache_gc  # noqa: E402  (tools/ is not a package)
+
+from repro.fastsim.cache import ResultCache  # noqa: E402
+
+
+def _fill(cache, keys, size=1000):
+    for i, key in enumerate(keys):
+        cache.put(key, (b"x" * size, {"i": i}))
+        # distinct mtimes so LRU order is deterministic
+        past = time.time() - 1000 + i
+        os.utime(cache._path(key), (past, past))
+
+
+class TestPrune:
+    def test_report_only_without_budget(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _fill(cache, ["a", "b", "c"])
+        report = cache.prune()
+        assert report["entries"] == 3
+        assert report["evicted"] == 0
+        assert len(cache) == 3
+
+    def test_max_entries_evicts_oldest_first(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _fill(cache, ["old", "mid", "new"])
+        report = cache.prune(max_entries=2)
+        assert report["evicted"] == 1
+        assert cache.get("old") is None
+        assert cache.get("mid") is not None
+        assert cache.get("new") is not None
+
+    def test_max_bytes_budget(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _fill(cache, ["a", "b", "c", "d"], size=1000)
+        _, total = cache.usage()
+        report = cache.prune(max_bytes=total // 2)
+        assert report["kept_bytes"] <= total // 2
+        assert report["evicted"] >= 2
+
+    def test_hit_refreshes_recency(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _fill(cache, ["stale", "hot"])
+        # "stale" is newer on disk, but a hit on "hot" must protect it
+        past = time.time() - 10
+        os.utime(cache._path("stale"), (past, past))
+        assert cache.get("hot") is not None  # refreshes mtime to now
+        cache.prune(max_entries=1)
+        assert cache.get("hot") is not None
+        assert cache.get("stale") is None
+
+    def test_dry_run_deletes_nothing(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _fill(cache, ["a", "b"])
+        report = cache.prune(max_entries=0, dry_run=True)
+        assert report["evicted"] == 2
+        assert len(cache) == 2
+
+    def test_missing_directory(self, tmp_path):
+        cache = ResultCache(tmp_path / "never-created")
+        report = cache.prune(max_entries=1)
+        assert report["entries"] == 0
+        assert report["evicted"] == 0
+
+
+class TestCacheGcCli:
+    def test_reports_and_prunes(self, tmp_path, capsys):
+        cache = ResultCache(tmp_path)
+        _fill(cache, ["a", "b", "c"])
+        assert cache_gc.main(
+            ["--cache-dir", str(tmp_path), "--max-entries", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "evicted 2" in out
+        assert len(cache) == 1
+
+    def test_dry_run_flag(self, tmp_path, capsys):
+        cache = ResultCache(tmp_path)
+        _fill(cache, ["a", "b"])
+        cache_gc.main(
+            ["--cache-dir", str(tmp_path), "--max-entries", "0",
+             "--dry-run"]
+        )
+        assert "would evict 2" in capsys.readouterr().out
+        assert len(cache) == 2
+
+    def test_format_report(self):
+        text = cache_gc.format_report(
+            {
+                "root": "/x", "entries": 5, "bytes": 2e6, "evicted": 1,
+                "kept_entries": 4, "kept_bytes": 1.5e6, "dry_run": False,
+            }
+        )
+        assert "5 entries" in text and "evicted 1" in text
+
+
+@pytest.mark.parametrize("flag", [[], ["--no-cache"]])
+def test_cli_cache_prune_flag(tmp_path, capsys, flag, monkeypatch):
+    """--cache-prune runs after the experiments, even with --no-cache
+    (that flag only disables the cache during the run)."""
+    from repro.experiments.__main__ import main
+
+    monkeypatch.chdir(tmp_path)
+    cache_dir = tmp_path / "cache"
+    rc = main(
+        ["E01", "--scale", "quick", "--cache-dir", str(cache_dir),
+         "--cache-prune", "0"] + flag
+    )
+    assert rc == 0
+    assert "cache prune" in capsys.readouterr().out
+    assert len(ResultCache(cache_dir)) == 0

@@ -139,6 +139,82 @@ class TestParallelMatchesSerial:
         )
 
 
+def _sparse_points(trials=4):
+    """Spread-out sparse-mode points with a live far field."""
+    from repro.network.network import Network
+
+    # seed picked for a connected draw with a live far field at this
+    # cutoff (spont_broadcast's default budget walks the graph)
+    coords = np.random.default_rng(31).uniform(0, 4.5, size=(200, 2))
+
+    def deployment(rng, c=coords):
+        return Network(c, name="sparse-grid", backend="sparse", cutoff=1.5)
+
+    return [
+        GridPoint(
+            kind="spont_broadcast",
+            deployment=deployment,
+            n_replications=trials,
+            label=f"src={src}",
+            constants=CONSTANTS,
+            kwargs={"source": src},
+            share_deployment="sparse-net",
+        )
+        for src in (0, 40, 80)
+    ]
+
+
+class TestSparseGridMode:
+    """The grid layer ships CSR arrays through shared memory (§2.2/§6.3)."""
+
+    def test_jobs2_bitwise_identical_to_jobs1(self):
+        serial = run_grid(_spec(_sparse_points()), jobs=1)
+        parallel = run_grid(_spec(_sparse_points()), jobs=2)
+        _assert_same_results(serial, parallel)
+        for s, p in zip(serial, parallel):
+            for so, po in zip(s.sweep.outcomes, p.sweep.outcomes):
+                assert np.array_equal(so.informed_round, po.informed_round)
+        assert serial[0].network.backend_kind == "sparse"
+        assert not serial[0].network.sparse_backend.far_empty
+
+    def test_cache_replay_in_sparse_mode(self, tmp_path):
+        first = run_grid(
+            _spec(_sparse_points(trials=2)), jobs=2, cache_dir=tmp_path
+        )
+        replay = run_grid(
+            _spec(_sparse_points(trials=2)), jobs=1, cache_dir=tmp_path
+        )
+        assert all(r.cached for r in replay)
+        _assert_same_results(first, replay)
+
+    def test_sparse_and_dense_cache_keys_never_collide(self, tmp_path):
+        from repro.network.network import Network
+
+        coords = np.random.default_rng(32).uniform(0, 1.5, size=(20, 2))
+
+        def make(backend):
+            return GridPoint(
+                kind="spont_broadcast",
+                deployment=lambda rng, b=backend: Network(
+                    coords, backend=b, cutoff=2.0
+                ),
+                n_replications=2,
+                label=backend,
+                constants=CONSTANTS,
+                kwargs={"source": 0},
+            )
+
+        run_grid(
+            _spec([make("dense")]), jobs=1, cache_dir=tmp_path
+        )
+        sparse = run_grid(
+            _spec([make("sparse")]), jobs=1, cache_dir=tmp_path
+        )
+        # same coords, same seed spawning — but the sparse point must
+        # compute, not replay the dense entry
+        assert not sparse[0].cached
+
+
 class TestResultCache:
     def test_second_run_replays_from_cache(self, tmp_path):
         spec = _spec([_uniform_point(n) for n in (10, 14)])

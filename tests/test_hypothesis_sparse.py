@@ -1,0 +1,117 @@
+"""Hypothesis properties of the sparse SINR backend (DESIGN.md §2.2).
+
+Two contracts, quantified over random deployments, transmitter sets and
+cutoffs:
+
+* **covered ⇒ bitwise.**  When the cutoff covers the deployment
+  (per-axis extent at most the cutoff, so the far set is empty) the
+  sparse batched resolver equals the dense batched resolver bit for
+  bit — same heard senders everywhere, for every batch row.
+* **truncated ⇒ certified.**  With a live far field, sparse receptions
+  are a subset of dense receptions (conservative acceptance), every
+  discrepancy is a *rejection* whose dense SINR clears ``beta`` by less
+  than the certified band explains, and the band genuinely brackets the
+  true far-field interference.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.network import Network
+from repro.sinr.params import SINRParameters
+from repro.sinr.reception import NO_SENDER, resolve_reception_batch
+
+PARAMS = SINRParameters.default()
+
+
+def _coords(seed: int, n: int, side: float) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    while True:
+        coords = rng.uniform(0.0, side, size=(n, 2))
+        diff = coords[:, None, :] - coords[None, :, :]
+        dist = np.sqrt((diff ** 2).sum(axis=-1))
+        np.fill_diagonal(dist, np.inf)
+        if dist.min() > 1e-6:
+            return coords
+
+
+def _tx(seed: int, B: int, n: int, prob: float) -> np.ndarray:
+    return np.random.default_rng(seed).random((B, n)) < prob
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n=st.integers(2, 40),
+    B=st.integers(1, 6),
+    prob=st.floats(0.05, 0.9),
+)
+def test_covered_cutoff_bitwise_equal(seed, n, B, prob):
+    side = 1.8
+    coords = _coords(seed, n, side)
+    dense = Network(coords, backend="dense")
+    sparse = Network(coords, backend="sparse", cutoff=2.0)
+    assert sparse.sparse_backend.far_empty
+    tx = _tx(seed ^ 0xA5A5, B, n, prob)
+    heard_dense = resolve_reception_batch(
+        dense.gain_operator, tx, PARAMS.noise, PARAMS.beta
+    )
+    heard_sparse = resolve_reception_batch(
+        sparse.gain_operator, tx, PARAMS.noise, PARAMS.beta
+    )
+    assert np.array_equal(heard_dense, heard_sparse)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n=st.integers(20, 80),
+    B=st.integers(1, 4),
+    prob=st.floats(0.02, 0.3),
+    cutoff=st.sampled_from([1.0, 1.5, 2.0]),
+)
+def test_truncated_cutoff_certified_conservative(seed, n, B, prob, cutoff):
+    side = 7.0
+    coords = _coords(seed, n, side)
+    dense = Network(coords, backend="dense")
+    sparse = Network(coords, backend="sparse", cutoff=cutoff)
+    backend = sparse.sparse_backend
+    tx = _tx(seed ^ 0x5A5A, B, n, prob)
+    noise, beta = PARAMS.noise, PARAMS.beta
+    heard_dense = resolve_reception_batch(
+        dense.gain_operator, tx, noise, beta
+    )
+    heard_sparse = resolve_reception_batch(
+        sparse.gain_operator, tx, noise, beta
+    )
+    # conservative acceptance: sparse receptions are dense receptions
+    assert np.all(
+        (heard_sparse == NO_SENDER) | (heard_sparse == heard_dense)
+    )
+    gains = dense.gains
+    far, band = backend.far_band(tx)
+    for b in range(B):
+        transmitters = np.flatnonzero(tx[b])
+        if transmitters.size == 0:
+            continue
+        total_true = gains[transmitters].sum(axis=0)
+        near_total = backend._near_scan(transmitters)[0]
+        far_true = total_true - near_total
+        # the certificate: the band brackets the true far field
+        assert np.all(far[b] + band[b] >= far_true - 1e-9)
+        assert np.all(far[b] - band[b] <= far_true + 1e-9)
+        # every discrepancy is explained by the band: the dense SINR
+        # clears beta, but not once the certified band is charged
+        missed = (heard_sparse[b] == NO_SENDER) & (
+            heard_dense[b] != NO_SENDER
+        )
+        for u in np.flatnonzero(missed):
+            sender = heard_dense[b, u]
+            signal = gains[sender, u]
+            denom_true = noise + total_true[u] - signal
+            denom_cons = (
+                noise + near_total[u] - signal + far[b, u] + band[b, u]
+            )
+            assert signal / denom_true >= beta  # dense really heard
+            assert signal / denom_cons < beta * (1 + 1e-12)

@@ -1,0 +1,74 @@
+"""Slow smoke test: an n=50k wake-up sweep through the grid layer.
+
+The sparse backend's reason to exist is deployments the dense resolver
+cannot touch (a dense n=50k gain matrix alone is 20 GB).  This test
+drives the full production path once at that scale — deployment →
+sparse backend → grid orchestrator → shared-memory CSR shipping →
+batched wake-up kernel — and is gated behind the ``slow`` marker so the
+CI fast lane stays fast (the tier-1 job runs it).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.constants import ProtocolConstants
+from repro.fastsim.grid import GridPoint, GridSpec, run_grid
+from repro.network.network import Network
+from repro.sim.wakeup import WakeupSchedule
+
+N = 50_000
+DENSITY = 12.0
+
+
+def _available_memory_bytes() -> int:
+    try:
+        with open("/proc/meminfo") as handle:
+            for line in handle:
+                if line.startswith("MemAvailable:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    return 1 << 62
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(
+    _available_memory_bytes() < 3 * 10**9,
+    reason="needs ~3 GB available memory for the 50k sparse build",
+)
+def test_50k_wakeup_sweep_through_grid_layer():
+    side = math.sqrt(N / DENSITY)
+    coords = np.random.default_rng(2014).uniform(0, side, size=(N, 2))
+
+    def deployment(rng):
+        return Network(
+            coords, name="smoke-50k", backend="sparse", cutoff=2.0
+        )
+
+    point = GridPoint(
+        kind="adhoc_wakeup",
+        deployment=deployment,
+        n_replications=1,
+        label="n=50k",
+        constants=ProtocolConstants.practical(),
+        kwargs={
+            "schedule": WakeupSchedule.all_at(N, 0),
+            # explicit budget: the default would compute the diameter,
+            # which has no sparse path (and no need — every station is
+            # awake after the first round's spontaneous wake-ups)
+            "round_budget": 4,
+        },
+    )
+    results = run_grid(
+        GridSpec(points=[point], seed=7, name="smoke-50k"),
+        jobs=1, cache=False,
+    )
+    sweep = results[0].sweep
+    assert sweep.n_replications == 1
+    assert bool(sweep.success[0])
+    assert results[0].network.backend_kind == "sparse"
+    backend = results[0].network.sparse_backend
+    # the memory story this backend exists for: far below dense n^2
+    assert backend.nbytes() < (N * N * 8) / 10

@@ -1,0 +1,437 @@
+"""Tests for the sparse geometry-certified SINR backend (DESIGN.md §2.2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.deploy import uniform_square
+from repro.deploy.perturb import jitter_within_slack, same_graph_family_sparse
+from repro.errors import (
+    DeploymentError,
+    GeometryError,
+    ProtocolError,
+)
+from repro.network.network import Network
+from repro.sinr.channel import (
+    DualSlope,
+    LogNormalShadowing,
+    ObstacleMask,
+    UniformPower,
+    rectangle,
+)
+from repro.sinr.params import SINRParameters
+from repro.sinr.reception import (
+    NO_SENDER,
+    resolve_reception,
+    resolve_reception_batch,
+    sinr_values,
+)
+from repro.sinr.sparse import (
+    CELLS_PER_CUTOFF,
+    CellIndex,
+    SparseGainBackend,
+    certified_cutoff,
+    default_cutoff,
+    far_field_tail_bound,
+    sparse_supported,
+)
+
+PARAMS = SINRParameters.default()
+
+
+def _spread_coords(n=200, side=8.0, seed=7):
+    return np.random.default_rng(seed).uniform(0, side, size=(n, 2))
+
+
+def _backend(coords, cutoff=1.0, channel=None):
+    return SparseGainBackend(coords, PARAMS, channel, cutoff)
+
+
+class TestCellIndex:
+    def test_pairs_cover_every_near_pair(self):
+        coords = _spread_coords(80, 5.0)
+        index = CellIndex(coords, 0.5, reach=2)
+        got = set()
+        for i, j in index.adjacent_pair_chunks():
+            got.update(zip(i.tolist(), j.tolist()))
+        # every ordered pair exactly once
+        assert len(got) == len(set(got))
+        diff = coords[:, None, :] - coords[None, :, :]
+        dist = np.sqrt((diff ** 2).sum(axis=-1))
+        near = {
+            (i, j)
+            for i in range(80)
+            for j in range(80)
+            if i != j and dist[i, j] <= 2 * 0.5
+        }
+        assert near <= got
+
+    def test_candidates_near_complete(self):
+        coords = _spread_coords(60, 4.0)
+        index = CellIndex(coords, 1.0, reach=1)
+        point = coords[17]
+        cands = set(index.candidates_near(point).tolist())
+        dist = np.linalg.norm(coords - point, axis=1)
+        assert set(np.flatnonzero(dist <= 1.0).tolist()) <= cands
+
+    def test_rejects_bad_arguments(self):
+        coords = _spread_coords(10)
+        with pytest.raises(GeometryError):
+            CellIndex(coords, 0.0)
+        with pytest.raises(GeometryError):
+            CellIndex(coords, 1.0, reach=0)
+
+
+class TestBackendConstruction:
+    def test_csr_matches_dense_gains(self):
+        coords = _spread_coords(120, 6.0)
+        backend = _backend(coords, cutoff=1.5)
+        dense = Network(coords, backend="dense").gains
+        for u in (0, 17, 119):
+            lo, hi = backend.indptr[u], backend.indptr[u + 1]
+            senders = backend.indices[lo:hi]
+            assert np.all(np.diff(senders) > 0)  # ascending, no dupes
+            assert np.array_equal(backend.data[lo:hi], dense[senders, u])
+
+    def test_near_field_complete_to_cutoff(self):
+        coords = _spread_coords(100, 5.0)
+        backend = _backend(coords, cutoff=1.2)
+        ii, jj = backend.pairs_within(1.2)
+        diff = coords[:, None, :] - coords[None, :, :]
+        dist = np.sqrt((diff ** 2).sum(axis=-1))
+        expect = {
+            (i, j)
+            for i in range(100)
+            for j in range(i + 1, 100)
+            if dist[i, j] <= 1.2
+        }
+        assert set(zip(ii.tolist(), jj.tolist())) == expect
+
+    def test_cutoff_below_range_rejected(self):
+        with pytest.raises(ProtocolError):
+            _backend(_spread_coords(20), cutoff=0.5)
+
+    def test_non_radial_channel_rejected(self):
+        channel = ObstacleMask([rectangle(1, 1, 2, 2)])
+        with pytest.raises(ProtocolError):
+            _backend(_spread_coords(20), channel=channel)
+
+    def test_dual_slope_is_radial(self):
+        coords = _spread_coords(50, 3.0)
+        channel = DualSlope(breakpoint=1.0)
+        backend = _backend(coords, cutoff=1.5, channel=channel)
+        dense = channel.gain(
+            Network(coords, backend="dense").distances, coords, PARAMS
+        )
+        u = 25
+        lo, hi = backend.indptr[u], backend.indptr[u + 1]
+        assert np.array_equal(
+            backend.data[lo:hi], dense[backend.indices[lo:hi], u]
+        )
+
+    def test_colocated_stations_rejected(self):
+        coords = np.array([[0.0, 0.0], [0.0, 0.0], [1.0, 1.0]])
+        with pytest.raises(DeploymentError):
+            _backend(coords)
+
+    def test_from_arrays_round_trips(self):
+        coords = _spread_coords(80, 5.0)
+        built = _backend(coords, cutoff=1.5)
+        rebuilt = SparseGainBackend.from_arrays(
+            coords, PARAMS, built.channel, 1.5,
+            built.data, built.indices, built.indptr,
+        )
+        tx = np.random.default_rng(0).random((4, 80)) < 0.1
+        assert np.array_equal(
+            built.resolve_reception_batch(tx, 1.0, 1.0),
+            rebuilt.resolve_reception_batch(tx, 1.0, 1.0),
+        )
+        # lazily recomputed distances match the originals bitwise
+        assert np.array_equal(built.dists, rebuilt.dists)
+
+    def test_cell_budget_guard(self):
+        # Two stations an enormous distance apart: the grid would need
+        # more cells than the budget allows.
+        coords = np.array([[0.0, 0.0], [1e6, 1e6]])
+        with pytest.raises(ProtocolError):
+            _backend(coords)
+
+
+class TestResolverAgainstDense:
+    def test_covered_regime_bitwise_equal(self):
+        rng = np.random.default_rng(42)
+        coords = rng.uniform(0, 1.9, size=(60, 2))
+        dense = Network(coords, backend="dense")
+        sparse = Network(coords, backend="sparse", cutoff=2.0)
+        assert sparse.sparse_backend.far_empty
+        tx = rng.random((8, 60)) < 0.2
+        assert np.array_equal(
+            resolve_reception_batch(dense.gain_operator, tx, 1.0, 1.0),
+            resolve_reception_batch(sparse.gain_operator, tx, 1.0, 1.0),
+        )
+
+    def test_truncated_regime_conservative_subset(self):
+        coords = _spread_coords(300, 8.0)
+        dense = Network(coords, backend="dense")
+        sparse = Network(coords, backend="sparse", cutoff=1.0)
+        assert not sparse.sparse_backend.far_empty
+        tx = np.random.default_rng(1).random((16, 300)) < 0.05
+        a = resolve_reception_batch(dense.gain_operator, tx, 1.0, 1.0)
+        b = resolve_reception_batch(sparse.gain_operator, tx, 1.0, 1.0)
+        assert np.all((b == NO_SENDER) | (b == a))
+        # and the truncation only suppresses a small fraction
+        assert (b != NO_SENDER).sum() > 0.7 * (a != NO_SENDER).sum()
+
+    def test_certified_band_brackets_true_far_field(self):
+        coords = _spread_coords(200, 8.0)
+        dense = Network(coords, backend="dense").gains
+        backend = _backend(coords, cutoff=1.0)
+        tx = np.random.default_rng(2).random((8, 200)) < 0.05
+        far, band = backend.far_band(tx)
+        for b in range(tx.shape[0]):
+            transmitters = np.flatnonzero(tx[b])
+            true_far = (
+                dense[transmitters].sum(axis=0)
+                - backend._near_scan(transmitters)[0]
+            )
+            assert np.all(far[b] + band[b] >= true_far - 1e-9)
+            assert np.all(far[b] - band[b] <= true_far + 1e-9)
+
+    def test_single_instance_resolution(self):
+        coords = _spread_coords(60, 1.8, seed=3)
+        dense = Network(coords, backend="dense")
+        sparse = Network(coords, backend="sparse", cutoff=2.0)
+        transmitters = np.asarray([3, 17, 40])
+        assert np.array_equal(
+            resolve_reception(dense.gain_operator, transmitters, 1.0, 1.0),
+            resolve_reception(sparse.gain_operator, transmitters, 1.0, 1.0),
+        )
+        bs_d, sinr_d = sinr_values(dense.gain_operator, transmitters, 1.0)
+        bs_s, sinr_s = sinr_values(sparse.gain_operator, transmitters, 1.0)
+        # covered regime: identical strongest senders at every
+        # non-degenerate station (dense reports an arbitrary argmax at
+        # stations that hear only themselves); SINR values agree up to
+        # summation association — the dense *single-instance* resolver
+        # uses numpy's pairwise sum while the sparse scan folds in
+        # order, the same last-ulp caveat documented between the dense
+        # single and batched resolvers.
+        listeners = np.setdiff1d(np.arange(60), transmitters)
+        assert np.array_equal(bs_d[listeners], bs_s[listeners])
+        np.testing.assert_allclose(
+            sinr_d[listeners], sinr_s[listeners], rtol=1e-12
+        )
+
+
+class TestResolverEdgeCases:
+    """All-transmit / single-transmitter / n=1, both backends."""
+
+    @pytest.mark.parametrize("backend_kind", ["dense", "sparse"])
+    def test_all_stations_transmit_nobody_hears(self, backend_kind):
+        coords = _spread_coords(40, 1.5, seed=5)
+        net = Network(coords, backend=backend_kind, cutoff=2.0)
+        tx = np.ones((2, 40), dtype=bool)
+        heard = resolve_reception_batch(net.gain_operator, tx, 1.0, 1.0)
+        assert np.all(heard == NO_SENDER)
+
+    @pytest.mark.parametrize("backend_kind", ["dense", "sparse"])
+    def test_single_transmitter_reaches_range(self, backend_kind):
+        coords = np.array([[0.0, 0.0], [0.5, 0.0], [5.0, 5.0]])
+        net = Network(coords, backend=backend_kind, cutoff=8.0)
+        heard = resolve_reception(
+            net.gain_operator, np.asarray([0]),
+            PARAMS.noise, PARAMS.beta,
+        )
+        assert heard[1] == 0          # within range 1
+        assert heard[2] == NO_SENDER  # far outside range
+        assert heard[0] == NO_SENDER  # transmitters never receive
+
+    @pytest.mark.parametrize("backend_kind", ["dense", "sparse"])
+    def test_single_station_network(self, backend_kind):
+        net = Network(
+            np.array([[0.0, 0.0]]), backend=backend_kind, cutoff=2.0
+        )
+        tx = np.array([[True], [False]])
+        heard = resolve_reception_batch(net.gain_operator, tx, 1.0, 1.0)
+        assert np.all(heard == NO_SENDER)
+
+    def test_empty_transmitter_set(self):
+        backend = _backend(_spread_coords(10, 1.5))
+        best, sinr = backend.sinr_values(np.asarray([], dtype=int), 1.0)
+        assert np.all(best == NO_SENDER)
+        assert np.all(sinr == 0)
+
+    def test_sinr_values_with_live_far_field_is_lower_bound(self):
+        coords = _spread_coords(150, 7.0, seed=13)
+        backend = _backend(coords, cutoff=1.0)
+        assert not backend.far_empty
+        transmitters = np.asarray([0, 30, 60, 90, 120])
+        _, sinr_cons = backend.sinr_values(transmitters, PARAMS.noise)
+        _, sinr_true = sinr_values(
+            Network(coords, backend="dense").gain_operator,
+            transmitters, PARAMS.noise,
+        )
+        listeners = np.setdiff1d(np.arange(150), transmitters)
+        # certified lower bound wherever the sparse near field sees a
+        # sender at all
+        seen = sinr_cons[listeners] > 0
+        assert np.all(
+            sinr_cons[listeners][seen]
+            <= sinr_true[listeners][seen] * (1 + 1e-12)
+        )
+
+    def test_measured_gamma_tail_bound(self):
+        backend = _backend(_spread_coords(300, 6.0, seed=14), cutoff=1.0)
+        assert backend.certified_tail_bound() > 0  # measured-gamma path
+
+
+class TestNetworkIntegration:
+    def test_auto_resolves_dense_below_threshold(self):
+        net = Network(_spread_coords(50))
+        assert net.backend_kind == "dense"
+        assert isinstance(net.gain_operator, np.ndarray)
+
+    def test_explicit_sparse_below_threshold(self):
+        net = Network(_spread_coords(50), backend="sparse")
+        assert net.backend_kind == "sparse"
+        assert isinstance(net.gain_operator, SparseGainBackend)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ProtocolError):
+            Network(_spread_coords(10), backend="csr")
+
+    def test_sparse_graph_matches_dense(self):
+        coords = _spread_coords(150, 6.0)
+        dense = Network(coords, backend="dense")
+        sparse = Network(coords, backend="sparse", cutoff=1.5)
+        assert set(map(frozenset, dense.graph.edges)) == set(
+            map(frozenset, sparse.graph.edges)
+        )
+        assert dense.is_connected == Network(
+            coords, backend="sparse", cutoff=1.5
+        ).is_connected
+
+    def test_sparse_ball_matches_dense(self):
+        coords = _spread_coords(120, 5.0)
+        dense = Network(coords, backend="dense")
+        sparse = Network(coords, backend="sparse", cutoff=1.5)
+        for center in (0, 60, 119):
+            assert np.array_equal(
+                sparse.ball(center, 1.2), dense.ball(center, 1.2)
+            )
+
+    def test_fingerprints_dense_unchanged_sparse_distinct(self):
+        coords = _spread_coords(40)
+        dense = Network(coords, backend="dense")
+        auto = Network(coords)  # auto resolves dense at n=40
+        sparse = Network(coords, backend="sparse", cutoff=2.0)
+        assert dense.fingerprint() == auto.fingerprint()
+        assert sparse.fingerprint() != dense.fingerprint()
+        assert sparse.fingerprint() != Network(
+            coords, backend="sparse", cutoff=3.0
+        ).fingerprint()
+
+    def test_describe_reports_backend(self):
+        net = Network(_spread_coords(30, 1.5), backend="sparse", cutoff=2.0)
+        assert net.describe()["backend"] == "sparse"
+
+    def test_with_params_and_channel_keep_backend(self):
+        net = Network(_spread_coords(40), backend="sparse", cutoff=2.0)
+        assert net.with_params(PARAMS).backend_kind == "sparse"
+        assert net.with_channel(UniformPower()).backend_kind == "sparse"
+
+    def test_auto_declines_non_radial_channels(self):
+        coords = _spread_coords(40)
+        shadow = Network(coords, channel=LogNormalShadowing(4.0, seed=1))
+        assert shadow.backend_kind == "dense"
+        assert not sparse_supported(
+            coords, PARAMS, shadow.metric, shadow.channel
+        )
+
+
+class TestGrowthCertificates:
+    def test_tail_bound_decreases_in_cutoff(self):
+        bounds = [
+            far_field_tail_bound(PARAMS, c, 2.0, 1.0, 50)
+            for c in (1.0, 2.0, 4.0)
+        ]
+        assert bounds[0] > bounds[1] > bounds[2] > 0
+
+    def test_tail_bound_validates(self):
+        with pytest.raises(GeometryError):
+            far_field_tail_bound(PARAMS, 0.0, 2.0, 1.0, 10)
+
+    def test_certified_cutoff_picks_smallest_certifiable(self):
+        coords = _spread_coords(400, 6.0, seed=11)
+        cutoff = certified_cutoff(coords, PARAMS, gamma=2.0)
+        assert cutoff >= PARAMS.broadcast_range
+        # tighter budget -> never smaller cutoff
+        tighter = certified_cutoff(
+            coords, PARAMS, gamma=2.0, budget_fraction=0.01
+        )
+        assert tighter >= cutoff
+
+    def test_backend_tail_bound_finite(self):
+        backend = _backend(_spread_coords(200, 8.0), cutoff=1.0)
+        bound = backend.certified_tail_bound(gamma=2.0)
+        assert 0 < bound < math.inf
+        worst = backend.certified_tail_bound(
+            gamma=2.0, active_per_ball=backend.max_ball_occupancy()
+        )
+        assert worst >= bound
+
+    def test_default_cutoff_is_twice_range(self):
+        assert default_cutoff(PARAMS) == pytest.approx(
+            2.0 * PARAMS.broadcast_range
+        )
+
+
+class TestSlackJitter:
+    def test_preserves_graph_and_moves_stations(self):
+        rng = np.random.default_rng(8)
+        base = uniform_square(n=150, side=3.0, rng=rng)
+        jittered = jitter_within_slack(base, 0.05, rng)
+        assert set(map(frozenset, base.graph.edges)) == set(
+            map(frozenset, jittered.graph.edges)
+        )
+        assert not np.array_equal(base.coords, jittered.coords)
+
+    def test_family_shares_graph(self):
+        rng = np.random.default_rng(9)
+        base = uniform_square(n=100, side=2.5, rng=rng)
+        family = same_graph_family_sparse(base, [0.02, 0.05], rng)
+        assert len(family) == 3
+        edges = set(map(frozenset, base.graph.edges))
+        for member in family[1:]:
+            assert set(map(frozenset, member.graph.edges)) == edges
+
+    def test_works_under_non_radial_channels(self):
+        # the jitter consumes only distances, so shadowing/obstacle
+        # channels (which the sparse backend cannot serve) must not
+        # prevent building same-graph families
+        rng = np.random.default_rng(12)
+        base = uniform_square(n=60, side=2.0, rng=rng).with_channel(
+            LogNormalShadowing(3.0, seed=1)
+        )
+        jittered = jitter_within_slack(base, 0.03, rng)
+        assert set(map(frozenset, base.graph.edges)) == set(
+            map(frozenset, jittered.graph.edges)
+        )
+
+    def test_zero_scale_is_identity(self):
+        rng = np.random.default_rng(10)
+        base = uniform_square(n=40, side=1.5, rng=rng)
+        assert np.array_equal(
+            jitter_within_slack(base, 0.0, rng).coords, base.coords
+        )
+
+    def test_rejects_bad_scale(self):
+        rng = np.random.default_rng(11)
+        base = uniform_square(n=20, side=1.5, rng=rng)
+        with pytest.raises(DeploymentError):
+            jitter_within_slack(base, -1.0, rng)
+
+
+def test_cells_per_cutoff_sanity():
+    # the fingerprint marker and the far-field floor both rely on it
+    assert CELLS_PER_CUTOFF >= 1

@@ -1,0 +1,77 @@
+"""Garbage-collect the on-disk grid result cache (LRU eviction).
+
+The cache (``repro.fastsim.cache.ResultCache``) is content-addressed:
+entries never go stale on input changes, so the directory grows without
+bound across runs.  This tool reports usage and evicts the
+least-recently-used entries (recency = file mtime, refreshed on every
+cache hit) until the directory fits the given budgets.
+
+Usage::
+
+    python tools/cache_gc.py [--cache-dir .repro-cache]
+                             [--max-mb N] [--max-entries N] [--dry-run]
+
+With no budget it only reports.  The experiments CLI exposes the same
+eviction as ``python -m repro.experiments ... --cache-prune MB``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+REPO_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if str(REPO_SRC) not in sys.path:
+    sys.path.insert(0, str(REPO_SRC))
+
+
+def format_report(report: dict) -> str:
+    mode = "would evict" if report["dry_run"] else "evicted"
+    return (
+        f"cache {report['root']}: {report['entries']} entries, "
+        f"{report['bytes'] / 1e6:.1f} MB; {mode} {report['evicted']} "
+        f"LRU entries -> {report['kept_entries']} entries, "
+        f"{report['kept_bytes'] / 1e6:.1f} MB"
+    )
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python tools/cache_gc.py",
+        description="Report and LRU-evict the grid result cache.",
+    )
+    parser.add_argument(
+        "--cache-dir", default=".repro-cache", metavar="PATH",
+        help="cache directory (the experiments CLI default)",
+    )
+    parser.add_argument(
+        "--max-mb", type=float, default=None, metavar="N",
+        help="evict oldest entries until total size is at most N MB",
+    )
+    parser.add_argument(
+        "--max-entries", type=int, default=None, metavar="N",
+        help="evict oldest entries until at most N remain",
+    )
+    parser.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be evicted without deleting anything",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.fastsim.cache import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    report = cache.prune(
+        max_bytes=(
+            None if args.max_mb is None else int(args.max_mb * 1e6)
+        ),
+        max_entries=args.max_entries,
+        dry_run=args.dry_run,
+    )
+    print(format_report(report))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

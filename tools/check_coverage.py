@@ -25,12 +25,18 @@ BASELINE = pathlib.Path(__file__).with_name("coverage_baseline.json")
 
 
 def package_coverage(report: dict, package: str) -> tuple[float, int, int]:
-    """Aggregate (percent, covered, statements) over one package's files."""
+    """Aggregate (percent, covered, statements) over one package's files.
+
+    ``package`` may also name a single module (``repro.sinr.sparse``),
+    matched by its ``.py`` file — per-module floors ratchet new hot
+    files independently of their package's average.
+    """
     needle = package.replace(".", "/") + "/"
+    module = package.replace(".", "/") + ".py"
     covered = statements = 0
     for path, entry in report.get("files", {}).items():
         normalized = path.replace("\\", "/")
-        if needle in normalized:
+        if needle in normalized or normalized.endswith(module):
             summary = entry["summary"]
             covered += summary["covered_lines"]
             statements += summary["num_statements"]
