@@ -22,6 +22,7 @@ import math
 import numpy as np
 import pytest
 
+from memutil import available_memory_bytes
 from repro.core.constants import ProtocolConstants
 from repro.network.network import Network
 from repro.sinr.reception import resolve_reception_batch
@@ -40,17 +41,6 @@ BATCH = 4
 
 MEMORY_FLOOR_N = 50_000
 MEMORY_FLOOR_RATIO = 10.0
-
-
-def _available_memory_bytes() -> int:
-    try:
-        with open("/proc/meminfo") as handle:
-            for line in handle:
-                if line.startswith("MemAvailable:"):
-                    return int(line.split()[1]) * 1024
-    except OSError:
-        pass
-    return 1 << 62  # unknown platform: do not gate
 
 
 def _coords(n: int, seed: int = SEED) -> np.ndarray:
@@ -78,7 +68,7 @@ def _throughput(gain_op, n: int, noise: float, beta: float) -> float:
 
 def _needs_memory(bytes_needed: int):
     return pytest.mark.skipif(
-        _available_memory_bytes() < bytes_needed,
+        available_memory_bytes() < bytes_needed,
         reason=f"needs ~{bytes_needed / 1e9:.0f} GB available memory",
     )
 
@@ -88,7 +78,7 @@ def test_sparse_backend_scale(benchmark, n, capsys):
     """Sparse build time, resident bytes and rounds/sec at each n."""
     # The build transient (pair chunk lists, lexsort permutation, final
     # CSR + distance arrays) peaks near 25 kB/station at this density.
-    if _available_memory_bytes() < 25_000 * n:
+    if available_memory_bytes() < 25_000 * n:
         pytest.skip("not enough memory for the sparse build transient")
     coords = _coords(n)
 

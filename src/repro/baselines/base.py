@@ -33,6 +33,7 @@ class FloodingNode(NodeAlgorithm):
 
     @property
     def informed(self) -> bool:
+        """Whether this node has received the message yet."""
         return self.informed_round != NEVER_INFORMED
 
     @abstractmethod

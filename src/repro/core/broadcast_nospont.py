@@ -69,6 +69,7 @@ class NoSBroadcastNode(NodeAlgorithm):
     # ------------------------------------------------------------------
     @property
     def informed(self) -> bool:
+        """Whether this node has received the message yet."""
         return self.informed_round != NEVER_INFORMED
 
     def _phase_and_offset(self, round_no: int) -> tuple[int, int]:

@@ -56,6 +56,7 @@ class SBroadcastNode(NodeAlgorithm):
 
     @property
     def informed(self) -> bool:
+        """Whether this node has received the message yet."""
         return self.informed_round != NEVER_INFORMED
 
     def transmission(self, round_no: int) -> tuple[float, Any]:

@@ -323,10 +323,12 @@ class ColoringSchedule:
 
     @property
     def density_len(self) -> int:
+        """Rounds of one density test."""
         return self.constants.density_test_rounds(self.n)
 
     @property
     def playoff_len(self) -> int:
+        """Rounds of one playoff test."""
         return self.constants.playoff_rounds(self.n)
 
     @property
@@ -341,10 +343,12 @@ class ColoringSchedule:
 
     @property
     def levels(self) -> int:
+        """Number of probability levels in the ladder."""
         return self.constants.num_levels(self.n)
 
     @property
     def total_rounds(self) -> int:
+        """Length of one full coloring execution in rounds."""
         return self.levels * self.level_len
 
     def position(self, offset: int) -> tuple[int, int, str, int]:

@@ -39,6 +39,7 @@ class LeaderElectionResult:
 
     @property
     def success(self) -> bool:
+        """Whether a unique leader was elected."""
         return self.leader >= 0 and self.unique
 
 

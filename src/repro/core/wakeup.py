@@ -70,6 +70,7 @@ class AdhocWakeupNode(NodeAlgorithm):
 
     @property
     def awake(self) -> bool:
+        """Whether this station has woken (spontaneously or by message)."""
         return self.awake_round != NEVER_INFORMED
 
     def _mark_awake(self, round_no: int) -> None:
@@ -217,6 +218,7 @@ class ColoredDisseminationNode(NodeAlgorithm):
 
     @property
     def informed(self) -> bool:
+        """Whether this node has received the wake-up message yet."""
         return self.informed_round != NEVER_INFORMED
 
     def transmission(self, round_no: int) -> tuple[float, Any]:

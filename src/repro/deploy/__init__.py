@@ -17,7 +17,10 @@ The families mirror the situations the paper discusses:
   graph but differing in geometry (the paper's headline claim E12);
 * geometry-diverse families for E13 — 3D cubes, fractal cluster
   hierarchies with tunable growth dimension, and corridors that pair
-  with obstacle channel models.
+  with obstacle channel models;
+* mobility models for E15 — seeded per-round displacement strategies
+  (Brownian drift, random waypoint, group drift) that turn any static
+  family into a moving deployment (DESIGN.md §7).
 """
 
 from repro.deploy.uniform import uniform_square, uniform_disk, uniform_cube
@@ -31,6 +34,13 @@ from repro.deploy.line import (
     clustered_chain,
 )
 from repro.deploy.cluster import cluster_network, dumbbell
+from repro.deploy.mobility import (
+    BrownianDrift,
+    GroupDrift,
+    MobilityModel,
+    RandomWaypoint,
+    mobility_hook,
+)
 from repro.deploy.perturb import perturb_within_balls, same_graph_family
 
 __all__ = [
@@ -51,4 +61,9 @@ __all__ = [
     "dumbbell",
     "perturb_within_balls",
     "same_graph_family",
+    "MobilityModel",
+    "BrownianDrift",
+    "RandomWaypoint",
+    "GroupDrift",
+    "mobility_hook",
 ]

@@ -15,6 +15,7 @@ SCALES = ("quick", "full")
 
 
 def check_scale(scale: str) -> str:
+    """Validate and return a sweep scale (``"quick"`` or ``"full"``)."""
     if scale not in SCALES:
         raise AnalysisError(
             f"unknown scale {scale!r}; expected one of {SCALES}"
@@ -116,3 +117,63 @@ def sweep_trials(
 def fmt(value: float, digits: int = 1) -> str:
     """Fixed-point cell formatting."""
     return f"{value:.{digits}f}"
+
+
+def hop_round_budget(network, budget_scale: int = 16) -> int:
+    """Broadcast round budget from a hop-count estimate.
+
+    ``budget_scale * (hops * log n + log^2 n)`` with ``hops`` the box
+    diagonal over the comm radius — the Theorem 2 shape without ever
+    materializing a dense structure (diameter included), so the scale
+    experiments (E14, E15) can budget sparse-backend sweeps.
+    """
+    import math
+
+    import numpy as np
+
+    from repro.core.constants import log2ceil
+
+    n = network.size
+    span = network.coords.max(axis=0) - network.coords.min(axis=0)
+    hops = math.ceil(
+        float(np.linalg.norm(span)) / network.params.comm_radius
+    )
+    logn = log2ceil(n)
+    return budget_scale * (hops * logn + logn * logn)
+
+
+def connected_sparse_square(
+    n: int,
+    density: float,
+    rng,
+    params,
+    *,
+    cutoff: float,
+    name: str,
+    max_attempts: int = 8,
+):
+    """Connected constant-density uniform square in explicit sparse mode.
+
+    ``repro.deploy.uniform_square`` would work but routes connectivity
+    through the dense path on small n; deploying directly keeps every
+    size on the same code path (sparse BFS connectivity, no networkx).
+    Shared by the scale experiments (E14, E15).
+    """
+    import math
+
+    from repro.errors import DisconnectedNetworkError
+    from repro.network.network import Network
+
+    side = math.sqrt(n / density)
+    for _ in range(max_attempts):
+        coords = rng.uniform(0.0, side, size=(n, 2))
+        net = Network(
+            coords, params=params, name=f"{name}-n{n}",
+            backend="sparse", cutoff=cutoff,
+        )
+        if net.is_connected:
+            return net
+    raise DisconnectedNetworkError(
+        f"{name} base (n={n}, side={side:.1f}) stayed disconnected "
+        f"after {max_attempts} draws; raise the density"
+    )

@@ -33,6 +33,7 @@ def _deployment(n: int):
 
 
 def run(scale: str = "quick", seed: int = 2014) -> ExperimentReport:
+    """Run E01 at ``scale``; see the module docstring and DESIGN.md §5."""
     check_scale(scale)
     constants = ProtocolConstants.practical()
     report = ExperimentReport(

@@ -60,6 +60,7 @@ def _post(net, sweep):
 
 
 def run(scale: str = "quick", seed: int = 2014) -> ExperimentReport:
+    """Run E03 at ``scale``; see the module docstring and DESIGN.md §5."""
     check_scale(scale)
     constants = ProtocolConstants.practical()
     report = ExperimentReport(

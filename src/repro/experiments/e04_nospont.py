@@ -116,6 +116,7 @@ def broadcast_report(report, cfg, results, bound_fn):
 
 
 def run(scale: str = "quick", seed: int = 2014) -> ExperimentReport:
+    """Run E04 at ``scale``; see the module docstring and DESIGN.md §5."""
     check_scale(scale)
     cfg = SWEEP[scale]
     constants = ProtocolConstants.practical()

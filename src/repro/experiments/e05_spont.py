@@ -32,6 +32,7 @@ SWEEP = {
 
 
 def run(scale: str = "quick", seed: int = 2014) -> ExperimentReport:
+    """Run E05 at ``scale``; see the module docstring and DESIGN.md §5."""
     check_scale(scale)
     cfg = SWEEP[scale]
     constants = ProtocolConstants.practical()

@@ -49,6 +49,7 @@ KINDS = ("spont_broadcast", "decay_broadcast", "uniform_broadcast")
 
 
 def run(scale: str = "quick", seed: int = 2014) -> ExperimentReport:
+    """Run E07 at ``scale``; see the module docstring and DESIGN.md §5."""
     check_scale(scale)
     cfg = SWEEP[scale]
     constants = ProtocolConstants.practical()

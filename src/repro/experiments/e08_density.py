@@ -36,6 +36,7 @@ SIDE = 2.5
 
 
 def run(scale: str = "quick", seed: int = 2014) -> ExperimentReport:
+    """Run E08 at ``scale``; see the module docstring and DESIGN.md §5."""
     check_scale(scale)
     cfg = SWEEP[scale]
     constants = ProtocolConstants.practical()

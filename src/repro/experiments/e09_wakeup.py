@@ -71,6 +71,7 @@ def _schedule_builders(constants):
 
 
 def run(scale: str = "quick", seed: int = 2014) -> ExperimentReport:
+    """Run E09 at ``scale``; see the module docstring and DESIGN.md §5."""
     check_scale(scale)
     cfg = SWEEP[scale]
     constants = ProtocolConstants.practical()

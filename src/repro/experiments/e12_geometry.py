@@ -39,6 +39,7 @@ N_CONTROLS = 3
 
 
 def run(scale: str = "quick", seed: int = 2014) -> ExperimentReport:
+    """Run E12 at ``scale``; see the module docstring and DESIGN.md §5."""
     check_scale(scale)
     cfg = SWEEP[scale]
     constants = ProtocolConstants.practical()

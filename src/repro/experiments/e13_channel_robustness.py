@@ -128,6 +128,7 @@ def _point(
 
 
 def run(scale: str = "quick", seed: int = 2014) -> ExperimentReport:
+    """Run E13 at ``scale``; see the module docstring and DESIGN.md §5."""
     check_scale(scale)
     cfg = SWEEP[scale]
     constants = ProtocolConstants.practical()

@@ -28,18 +28,17 @@ by ``benchmarks/bench_sinr_backend.py``).
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 
 from repro.analysis.stats import aggregate_trials, relative_spread
-from repro.core.constants import ProtocolConstants, log2ceil
+from repro.core.constants import ProtocolConstants
 from repro.deploy.perturb import same_graph_family_sparse
-from repro.errors import DisconnectedNetworkError
 from repro.experiments.base import (
     ExperimentReport,
     check_scale,
+    connected_sparse_square,
     fmt,
+    hop_round_budget,
     run_grid_points,
     trial_rngs,
 )
@@ -63,39 +62,15 @@ MAX_DEPLOY_ATTEMPTS = 8
 def _deploy_base(
     n: int, rng: np.random.Generator, params: SINRParameters
 ) -> Network:
-    """Connected constant-density uniform square in sparse mode.
-
-    ``repro.deploy.uniform_square`` would work but routes connectivity
-    through the dense path on small n; deploying directly keeps every
-    size on the same code path (sparse BFS connectivity, no networkx).
-    """
-    side = math.sqrt(n / DENSITY)
-    for _ in range(MAX_DEPLOY_ATTEMPTS):
-        coords = rng.uniform(0.0, side, size=(n, 2))
-        net = Network(
-            coords, params=params, name=f"e14-n{n}",
-            backend="sparse", cutoff=CUTOFF,
-        )
-        if net.is_connected:
-            return net
-    raise DisconnectedNetworkError(
-        f"e14 base (n={n}, side={side:.1f}) stayed disconnected after "
-        f"{MAX_DEPLOY_ATTEMPTS} draws; raise DENSITY"
+    """The E14 sparse base (see :func:`connected_sparse_square`)."""
+    return connected_sparse_square(
+        n, DENSITY, rng, params, cutoff=CUTOFF, name="e14",
+        max_attempts=MAX_DEPLOY_ATTEMPTS,
     )
-
-
-def _round_budget(net: Network, budget_scale: int = 16) -> int:
-    """Broadcast budget from a hop-count estimate, no diameter needed."""
-    n = net.size
-    span = net.coords.max(axis=0) - net.coords.min(axis=0)
-    hops = math.ceil(
-        float(np.linalg.norm(span)) / net.params.comm_radius
-    )
-    logn = log2ceil(n)
-    return budget_scale * (hops * logn + logn * logn)
 
 
 def run(scale: str = "quick", seed: int = 2014) -> ExperimentReport:
+    """Run E14 at ``scale``; see the module docstring and DESIGN.md §5."""
     check_scale(scale)
     cfg = SWEEP[scale]
     constants = ProtocolConstants.practical()
@@ -115,7 +90,7 @@ def run(scale: str = "quick", seed: int = 2014) -> ExperimentReport:
     for n in cfg["ns"]:
         base = _deploy_base(n, rng0, params)
         family = same_graph_family_sparse(base, cfg["scales"], rng0)
-        budget = _round_budget(base)
+        budget = hop_round_budget(base)
         labels = ["base"] + [f"jitter={s}" for s in cfg["scales"]]
         for label, member in zip(labels, family):
             points.append(

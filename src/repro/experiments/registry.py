@@ -20,6 +20,7 @@ from repro.experiments import (
     e12_geometry,
     e13_channel_robustness,
     e14_scale,
+    e15_mobility,
 )
 from repro.experiments.base import ExperimentReport
 
@@ -40,6 +41,7 @@ _REGISTRY: dict[str, RunFn] = {
     "E12": e12_geometry.run,
     "E13": e13_channel_robustness.run,
     "E14": e14_scale.run,
+    "E15": e15_mobility.run,
 }
 
 

@@ -89,8 +89,14 @@ def fast_spont_broadcast_batch(
     round_budget: Optional[int] = None,
     budget_scale: int = 16,
     tighten_eps: bool = True,
+    network_hook=None,
 ) -> list[BroadcastOutcome]:
-    """Batched vectorized ``SBroadcast`` (Theorem 2)."""
+    """Batched vectorized ``SBroadcast`` (Theorem 2).
+
+    ``network_hook`` (optional, DESIGN.md §7) threads a per-round
+    network callback through the coloring, the pilot round and the
+    dissemination loop, so the broadcast runs over a moving deployment.
+    """
     if tighten_eps:
         constants = constants.with_eps_prime()
     _check_source(network, source)
@@ -101,6 +107,7 @@ def fast_spont_broadcast_batch(
     coloring = fast_coloring_batch(
         network, constants, rngs,
         informed=informed, informed_round=informed_round,
+        network_hook=network_hook,
     )
     colors = np.where(np.isnan(coloring.colors), 0.0, coloring.colors)
     diss_probs = dissemination_probs(colors, constants, n)
@@ -110,11 +117,13 @@ def fast_spont_broadcast_batch(
     # informed sets at this point).
     pilot_tx = np.zeros((1, n), dtype=bool)
     pilot_tx[0, source] = True
+    pilot_round = coloring.rounds
+    if network_hook is not None:
+        network = network_hook(pilot_round, network)
     heard_from = resolve_reception_batch(
         network.gain_operator, pilot_tx, network.params.noise,
         network.params.beta,
     )[0]
-    pilot_round = coloring.rounds
     newly = (heard_from != NO_SENDER)[None, :] & ~informed
     informed |= newly
     informed_round[newly] = pilot_round
@@ -129,7 +138,7 @@ def fast_spont_broadcast_batch(
 
     last = dissemination_loop_batch(
         network, rngs, informed, informed_round, probs,
-        pilot_round + 1, round_budget,
+        pilot_round + 1, round_budget, network_hook=network_hook,
     )
     return _outcomes(
         "SBroadcast(fast)", informed_round, last,
@@ -146,6 +155,7 @@ def fast_spont_broadcast(
     round_budget: Optional[int] = None,
     budget_scale: int = 16,
     tighten_eps: bool = True,
+    network_hook=None,
 ) -> BroadcastOutcome:
     """Vectorized ``SBroadcast`` (Theorem 2)."""
     if constants is None:
@@ -155,7 +165,7 @@ def fast_spont_broadcast(
     return fast_spont_broadcast_batch(
         network, source, constants, [rng],
         round_budget=round_budget, budget_scale=budget_scale,
-        tighten_eps=tighten_eps,
+        tighten_eps=tighten_eps, network_hook=network_hook,
     )[0]
 
 
@@ -167,6 +177,7 @@ def fast_nospont_broadcast_batch(
     *,
     max_phases: Optional[int] = None,
     budget_slack: int = 8,
+    network_hook=None,
 ) -> list[BroadcastOutcome]:
     """Batched vectorized ``NoSBroadcast`` (Theorem 1).
 
@@ -203,6 +214,7 @@ def fast_nospont_broadcast_batch(
             informed=informed, informed_round=informed_round,
             round_offset=round_no,
             enabled=running,
+            network_hook=network_hook,
         )
         round_no += coloring.rounds
         colors = np.where(np.isnan(coloring.colors), 0.0, coloring.colors)
@@ -215,7 +227,7 @@ def fast_nospont_broadcast_batch(
 
         last = dissemination_loop_batch(
             network, rngs, informed, informed_round, probs,
-            round_no, part2, enabled=running,
+            round_no, part2, enabled=running, network_hook=network_hook,
         )
         round_no = round_no + part2
         total_rounds[running] = np.where(
@@ -261,12 +273,13 @@ def _flood_batch(
     prob_of_round: Callable[[int, np.ndarray], np.ndarray],
     round_budget: int,
     extras: Callable[[int], dict],
+    network_hook=None,
 ) -> list[BroadcastOutcome]:
     n = network.size
     informed, informed_round = _source_state(len(rngs), n, source)
     last = dissemination_loop_batch(
         network, rngs, informed, informed_round, prob_of_round,
-        0, round_budget,
+        0, round_budget, network_hook=network_hook,
     )
     return _outcomes(algorithm, informed_round, last, extras)
 
@@ -279,6 +292,7 @@ def fast_uniform_broadcast_batch(
     *,
     round_budget: Optional[int] = None,
     budget_scale: int = 64,
+    network_hook=None,
 ) -> list[BroadcastOutcome]:
     """Batched fixed-probability flooding (baseline)."""
     _check_source(network, source)
@@ -297,7 +311,7 @@ def fast_uniform_broadcast_batch(
 
     return _flood_batch(
         "UniformFlood(fast)", network, source, rngs, probs, round_budget,
-        lambda b: {"q": q},
+        lambda b: {"q": q}, network_hook=network_hook,
     )
 
 

@@ -137,6 +137,17 @@ def point_key(
 class ResultCache:
     """One directory of content-addressed grid-point results.
 
+    Mobility sweeps are keyed like everything else — through their
+    inputs: a dynamic grid point carries its
+    :class:`~repro.deploy.mobility.MobilityModel` in the kwargs, and
+    :func:`fingerprint_bytes` hashes the model via its
+    ``fingerprint()`` — a digest of ``identity()`` (model type, every
+    physical knob, the trajectory seed).  A static run and a dynamic
+    run of the same deployment therefore have different keys by
+    construction, as do runs under different mobility models or seeds;
+    dynamic and static results can never replay each other
+    (DESIGN.md §7).
+
     :param root: cache directory (created on first write).
     """
 

@@ -39,13 +39,16 @@ class FastColoringResult:
 
     @property
     def participants(self) -> np.ndarray:
+        """Boolean mask of the stations that took part."""
         return self.quit_levels != NOT_PARTICIPATING
 
     def distinct_colors(self) -> list[float]:
+        """Sorted distinct colors assigned to participants."""
         values = self.colors[self.participants]
         return sorted(set(float(v) for v in values))
 
     def color_mask(self, color: float) -> np.ndarray:
+        """Participants holding ``color`` (tolerant float compare)."""
         return self.participants & np.isclose(self.colors, color)
 
 
@@ -64,9 +67,11 @@ class FastColoringBatch:
 
     @property
     def batch_size(self) -> int:
+        """Number of replications ``B`` in the batch."""
         return self.colors.shape[0]
 
     def replication(self, b: int) -> FastColoringResult:
+        """Replication ``b``'s coloring as a single-run result view."""
         return FastColoringResult(
             colors=self.colors[b],
             quit_levels=self.quit_levels[b],
@@ -107,6 +112,7 @@ def fast_coloring_batch(
     informed_round: Optional[np.ndarray] = None,
     round_offset: int = 0,
     enabled: Optional[np.ndarray] = None,
+    network_hook=None,
 ) -> FastColoringBatch:
     """Run ``B`` independent ``StabilizeProbability`` executions at once.
 
@@ -122,6 +128,11 @@ def fast_coloring_batch(
         round (for ``informed_round`` bookkeeping).
     :param enabled: optional ``(B,)`` mask; disabled replications consume
         no randomness and come back with all-NaN colors.
+    :param network_hook: optional per-round network callback
+        (DESIGN.md §7): called once per executed round with the global
+        round number; the returned network's gain operator resolves that
+        round, so the coloring runs over a moving deployment.  Skipped
+        blocks (every replication quit) do not advance the hook.
     """
     n = network.size
     B = len(rngs)
@@ -156,11 +167,14 @@ def fast_coloring_batch(
         prob: float, length: int, count_tx: bool, block_active: np.ndarray
     ) -> np.ndarray:
         """Run one test for active replications; per-station successes."""
-        nonlocal global_round
+        nonlocal global_round, network, gains
         successes = np.zeros((B, n), dtype=int)
         draws = draw_block(rngs, block_active, length, n)
         for r in range(length):
             tx_mask = in_ladder & (draws[:, r, :] < prob)
+            if network_hook is not None:
+                network = network_hook(global_round, network)
+                gains = network.gain_operator
             heard_from = resolve_reception_batch(gains, tx_mask, noise, beta)
             heard = heard_from != NO_SENDER
             if count_tx:

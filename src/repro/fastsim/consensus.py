@@ -41,6 +41,7 @@ def fast_consensus_batch(
     *,
     box_budget: Optional[int] = None,
     budget_scale: int = 16,
+    network_hook=None,
 ) -> list[ConsensusResult]:
     """Agree on the minimum of each replication's values, batched.
 
@@ -49,6 +50,10 @@ def fast_consensus_batch(
     :param box_budget: rounds per bit time box; defaults to the wake-up
         budget ``budget_scale * (D log n + log^2 n)`` — every box must
         use the *same* fixed length so silence is meaningful.
+    :param network_hook: optional per-round network callback
+        (DESIGN.md §7), threaded through the backbone coloring and every
+        bit box; a stateful hook (``repro.deploy.mobility.mobility_hook``)
+        keeps one trajectory across all stages.
     """
     n = network.size
     B = len(rngs)
@@ -66,7 +71,9 @@ def fast_consensus_batch(
     if (values >= 2 ** width).any():
         raise ProtocolError(f"some value does not fit in {width} bits")
 
-    backbone = fast_coloring_batch(network, constants, rngs)
+    backbone = fast_coloring_batch(
+        network, constants, rngs, network_hook=network_hook
+    )
     base_colors = np.where(np.isnan(backbone.colors), 0.0, backbone.colors)
     total_rounds = np.full(B, backbone.rounds, dtype=int)
 
@@ -93,6 +100,7 @@ def fast_consensus_batch(
                 rngs,
                 round_budget=box_budget,
                 enabled=live,
+                network_hook=network_hook,
             )
             heard = np.stack(
                 [out.informed_round >= 0 for out in outcomes]
@@ -139,6 +147,7 @@ def fast_consensus(
     *,
     box_budget: Optional[int] = None,
     budget_scale: int = 16,
+    network_hook=None,
 ) -> ConsensusResult:
     """Vectorized min-consensus (the ``B = 1`` batched case).
 
@@ -158,4 +167,5 @@ def fast_consensus(
     return fast_consensus_batch(
         network, values, x_max, constants, [rng],
         box_budget=box_budget, budget_scale=budget_scale,
+        network_hook=network_hook,
     )[0]

@@ -100,6 +100,7 @@ def dissemination_loop_batch(
     start_round: int,
     budget: int,
     enabled: Optional[np.ndarray] = None,
+    network_hook: Optional[Callable[[int, Network], Network]] = None,
 ) -> np.ndarray:
     """Batched flooding until every replication informs everyone or times out.
 
@@ -115,6 +116,16 @@ def dissemination_loop_batch(
         transmission-probability array.
     :param enabled: optional ``(B,)`` mask of replications that run at
         all (disabled ones are reported as stopping at ``start_round``).
+    :param network_hook: optional per-round network callback
+        (DESIGN.md §7): called once per round, in order, before
+        reception is resolved; the returned network's gain operator
+        serves the round, so protocols run over a moving deployment.
+        All replications share the one trajectory — the *environment*
+        moves, replications differ only in protocol randomness.  Hooks
+        must be stateful (own their trajectory, like
+        :func:`repro.deploy.mobility.mobility_hook`): multi-stage
+        kernels re-pass their static snapshot, not a previous stage's
+        result.
     :returns: ``(B,)`` per-replication first unused round number.
     """
     B, n = informed.shape
@@ -136,6 +147,9 @@ def dissemination_loop_batch(
             )
         probs = prob_of_round(round_no, informed)
         tx_mask = running[:, None] & (buffer[:, k, :] < probs)
+        if network_hook is not None:
+            network = network_hook(round_no, network)
+            gains = network.gain_operator
         heard_from = resolve_reception_batch(gains, tx_mask, noise, beta)
         newly = (heard_from != NO_SENDER) & ~informed & running[:, None]
         if newly.any():

@@ -31,6 +31,15 @@ declared as data (:class:`GridSpec`) and executed by :func:`run_grid`:
   :func:`repro.fastsim.cache.point_key`; re-runs (and ``--scale full``
   upgrades that share points with an earlier quick run) replay hits
   without touching the worker pool.
+* **mobility descriptors** — a point whose kwargs carry a
+  :class:`~repro.deploy.mobility.MobilityModel` runs over a moving
+  deployment (DESIGN.md §7).  The model is a tiny seeded descriptor:
+  it rides to workers through the fork payload next to the
+  shared-memory gain arrays, each worker rebuilds the identical
+  trajectory deterministically inside ``run_sweep``, and the model's
+  ``identity()`` participates in the cache key — so ``jobs=N`` stays
+  bitwise equal to ``jobs=1`` for dynamic sweeps and dynamic results
+  never collide with static ones.
 
 DESIGN.md §6.3 records the contracts; ``benchmarks/bench_grid.py`` tracks
 the speedup and asserts parallel/serial result identity.
@@ -163,6 +172,7 @@ def set_default_grid_options(options: GridOptions) -> None:
 
 
 def get_default_grid_options() -> GridOptions:
+    """The process-wide execution defaults :func:`run_grid` inherits."""
     return _DEFAULT_OPTIONS
 
 

@@ -30,8 +30,13 @@ def fast_leader_election_batch(
     rngs: Rngs,
     *,
     box_budget: Optional[int] = None,
+    network_hook=None,
 ) -> list[LeaderElectionResult]:
-    """Batched leader election over seed-spawned replications."""
+    """Batched leader election over seed-spawned replications.
+
+    ``network_hook`` (optional, DESIGN.md §7) is forwarded to the
+    underlying consensus so the election runs over a moving deployment.
+    """
     n = network.size
     if n < 1:
         raise ProtocolError("leader election needs at least one station")
@@ -40,7 +45,8 @@ def fast_leader_election_batch(
         [rng.integers(1, id_space + 1, size=n) for rng in rngs]
     )
     results = fast_consensus_batch(
-        network, ids, id_space, constants, rngs, box_budget=box_budget
+        network, ids, id_space, constants, rngs, box_budget=box_budget,
+        network_hook=network_hook,
     )
     elections = []
     for b, result in enumerate(results):
@@ -67,6 +73,7 @@ def fast_leader_election(
     rng: Optional[np.random.Generator] = None,
     *,
     box_budget: Optional[int] = None,
+    network_hook=None,
 ) -> LeaderElectionResult:
     """Vectorized leader election (the ``B = 1`` batched case).
 
@@ -78,5 +85,6 @@ def fast_leader_election(
     if rng is None:
         rng = np.random.default_rng(0)
     return fast_leader_election_batch(
-        network, constants, [rng], box_budget=box_budget
+        network, constants, [rng], box_budget=box_budget,
+        network_hook=network_hook,
     )[0]

@@ -70,9 +70,11 @@ class SweepResult:
 
     @property
     def n_replications(self) -> int:
+        """Number of replications the sweep ran."""
         return self.rounds.shape[0]
 
     def success_rate(self) -> float:
+        """Fraction of replications that succeeded."""
         return float(np.mean(self.success))
 
     def successful_rounds(self) -> np.ndarray:
@@ -252,7 +254,13 @@ def run_sweep(
     :param kind: one of :func:`sweep_kinds`.
     :param kwargs: protocol-specific arguments (``source=...`` for the
         broadcasts, ``schedule=...`` for wake-up, ``x_max=...`` for
-        consensus, budget overrides, ...).
+        consensus, budget overrides, ...).  ``mobility=`` accepts a
+        :class:`repro.deploy.mobility.MobilityModel`: the sweep then
+        runs over a moving deployment (one trajectory shared by all
+        replications, DESIGN.md §7) by translating the model into the
+        kernels' ``network_hook`` callback.  The model rides in the
+        kwargs, so grid cache keys cover its ``identity()`` and dynamic
+        results never collide with static ones.
     """
     try:
         spec = SWEEP_KINDS[kind]
@@ -263,6 +271,18 @@ def run_sweep(
     if constants is None:
         constants = ProtocolConstants.practical()
     rngs = spawn_rngs(n_replications, seed)
+
+    mobility = kwargs.pop("mobility", None)
+    if mobility is not None:
+        if not use_batch or spec.batch is None:
+            raise ProtocolError(
+                "mobility sweeps need a batched kernel: the reference "
+                "simulator has no per-round network callback "
+                f"(kind {kind!r} with use_batch={use_batch})"
+            )
+        from repro.deploy.mobility import mobility_hook
+
+        kwargs["network_hook"] = mobility_hook(mobility)
 
     if use_batch and spec.batch is not None:
         outcomes = spec.batch(network, constants, rngs, **kwargs)

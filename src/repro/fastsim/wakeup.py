@@ -23,7 +23,7 @@ same :class:`~repro.core.constants.ColoringSchedule` positions.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -123,6 +123,7 @@ def fast_adhoc_wakeup_batch(
     *,
     round_budget: Optional[int] = None,
     budget_slack: int = 8,
+    network_hook: Optional[Callable[[int, Network], Network]] = None,
 ) -> list[BroadcastOutcome]:
     """Batched ad hoc wake-up under one adversarial schedule.
 
@@ -133,6 +134,12 @@ def fast_adhoc_wakeup_batch(
     the last station woke; ``extras['wakeup_time']`` subtracts the first
     spontaneous wake.  A replication stops the moment all its stations
     are awake (per-replication ``total_rounds``).
+
+    :param network_hook: optional per-round network callback
+        (DESIGN.md §7) — each round's reception resolves on the network
+        the hook returns, so the wake-up runs over a moving deployment
+        (the default round budget still derives from the *initial*
+        network's diameter).
     """
     n = network.size
     B = len(rngs)
@@ -195,6 +202,9 @@ def fast_adhoc_wakeup_batch(
             probs = np.where(active, phase_diss, 0.0)
         draws = draw_block(rngs, running, 1, n)[:, 0, :]
         tx_mask = draws < probs
+        if network_hook is not None:
+            network = network_hook(round_no, network)
+            gains = network.gain_operator
         heard_from = resolve_reception_batch(gains, tx_mask, noise, beta)
         heard = heard_from != NO_SENDER
         mark_awake(heard, round_no)
@@ -236,6 +246,7 @@ def fast_adhoc_wakeup(
     *,
     round_budget: Optional[int] = None,
     budget_slack: int = 8,
+    network_hook=None,
 ) -> BroadcastOutcome:
     """Vectorized ad hoc wake-up (the ``B = 1`` batched case)."""
     if constants is None:
@@ -245,6 +256,7 @@ def fast_adhoc_wakeup(
     return fast_adhoc_wakeup_batch(
         network, schedule, constants, [rng],
         round_budget=round_budget, budget_slack=budget_slack,
+        network_hook=network_hook,
     )[0]
 
 
@@ -281,6 +293,7 @@ def fast_colored_wakeup_batch(
     budget_scale: int = 16,
     refresh_coloring: bool = True,
     enabled: Optional[np.ndarray] = None,
+    network_hook: Optional[Callable[[int, Network], Network]] = None,
 ) -> list[BroadcastOutcome]:
     """Batched wake-up with established coloring (Sect. 5).
 
@@ -292,6 +305,10 @@ def fast_colored_wakeup_batch(
     :param enabled: optional ``(B,)`` mask; disabled replications consume
         no randomness (consensus uses this for silent bit boxes).  Every
         enabled replication needs at least one initiator.
+    :param network_hook: optional per-round network callback
+        (DESIGN.md §7), threaded through the auxiliary coloring and the
+        dissemination loop so the whole execution rides one moving
+        deployment.
     """
     n = network.size
     B = len(rngs)
@@ -316,7 +333,8 @@ def fast_colored_wakeup_batch(
     q_colors = np.zeros((B, n))
     if refresh_coloring:
         aux = fast_coloring_batch(
-            network, constants, rngs, participants=masks, enabled=enabled
+            network, constants, rngs, participants=masks, enabled=enabled,
+            network_hook=network_hook,
         )
         aux_rounds = aux.rounds
         q_colors = np.where(np.isnan(aux.colors), 0.0, aux.colors)
@@ -336,7 +354,7 @@ def fast_colored_wakeup_batch(
 
     last = dissemination_loop_batch(
         network, rngs, informed, informed_round, probs,
-        0, round_budget, enabled=enabled,
+        0, round_budget, enabled=enabled, network_hook=network_hook,
     )
 
     outcomes = []
@@ -374,6 +392,7 @@ def fast_colored_wakeup(
     round_budget: Optional[int] = None,
     budget_scale: int = 16,
     refresh_coloring: bool = True,
+    network_hook=None,
 ) -> BroadcastOutcome:
     """Vectorized wake-up with established coloring (``B = 1``)."""
     if constants is None:
@@ -383,5 +402,5 @@ def fast_colored_wakeup(
     return fast_colored_wakeup_batch(
         network, initiators, base_colors, constants, [rng],
         round_budget=round_budget, budget_scale=budget_scale,
-        refresh_coloring=refresh_coloring,
+        refresh_coloring=refresh_coloring, network_hook=network_hook,
     )[0]

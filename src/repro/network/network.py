@@ -33,6 +33,12 @@ from repro.sinr.sparse import (
 #: Recognized SINR backend selectors (DESIGN.md §2.2).
 BACKENDS = ("auto", "dense", "sparse")
 
+#: Moved-station fraction above which :meth:`Network.advance` drops the
+#: incremental patch and lets the successor rebuild lazily from scratch
+#: — splicing cost approaches full-build cost well before every row is
+#: touched (DESIGN.md §7).
+MOBILITY_REBUILD_FRACTION = 0.25
+
 
 class Network:
     """An immutable deployed wireless network.
@@ -97,6 +103,10 @@ class Network:
         self._diameter: Optional[int] = None
         self._max_degree: Optional[int] = None
         self._fingerprint: Optional[str] = None
+        #: How this network came to be when produced by :meth:`advance`
+        #: (``"patched-sparse"`` / ``"patched-dense"`` / ``"rebuild"``);
+        #: ``None`` for directly constructed networks.
+        self.advance_mode: Optional[str] = None
 
     # ------------------------------------------------------------------
     # basic properties
@@ -346,6 +356,129 @@ class Network:
         ):
             return self.sparse_backend.neighbors_within(center, radius)
         return np.flatnonzero(self.distances[center] <= radius)
+
+    # ------------------------------------------------------------------
+    # mobility (DESIGN.md §7)
+    # ------------------------------------------------------------------
+    def advance(
+        self,
+        displacements: np.ndarray,
+        *,
+        rebuild_fraction: float = MOBILITY_REBUILD_FRACTION,
+    ) -> "Network":
+        """The network one mobility step later (a new ``Network``).
+
+        Networks stay immutable: ``advance`` returns a successor at
+        ``coords + displacements`` with the same parameters, channel and
+        backend request, whose lazy caches (graph, diameter,
+        fingerprint) start empty — they are position-dependent.  What
+        carries over is the expensive gain structure, *incrementally*:
+
+        * **sparse** — when this network's backend is built and at most
+          ``rebuild_fraction`` of the stations moved, the successor gets
+          :meth:`repro.sinr.sparse.SparseGainBackend.advanced`'s patched
+          backend: only CSR rows whose cell neighbourhood saw a moved
+          station are recomputed, the rest are copied.  The patched
+          state is bitwise equal to a from-scratch build at the new
+          coordinates (the equivalence suite asserts it); when the cell
+          grid itself drifts (bounding-box origin/shape change) the
+          patch is unsound and the successor rebuilds lazily.
+        * **dense** — the moved rows/columns of the distance matrix are
+          recomputed with the elementwise pairwise expression (bitwise
+          equal to a fresh :func:`~repro.geometry.metric.pairwise_distances`);
+          radial channels additionally patch the gain rows through
+          :meth:`~repro.sinr.channel.ChannelModel.radial_gain`, while
+          non-radial channels (shadowing, obstacles) recompute gains
+          lazily from the patched distances.
+
+        ``advance_mode`` on the returned successor records which path
+        ran (``"patched-sparse"``, ``"patched-dense"``, ``"rebuild"``).
+        An all-zero displacement returns ``self`` untouched — no
+        successor exists and this network's own ``advance_mode`` (the
+        record of how *it* was produced) is not clobbered.
+
+        :param displacements: ``(n, d)`` per-station displacement array;
+            stations with an exact-zero row are treated as unmoved.
+        :param rebuild_fraction: moved-fraction threshold above which no
+            patching is attempted.
+        """
+        disp = np.asarray(displacements, dtype=float)
+        if disp.ndim == 1:
+            disp = disp[:, None]
+        if disp.shape != self._coords.shape:
+            raise DeploymentError(
+                f"displacements must have shape {self._coords.shape}, "
+                f"got {disp.shape}"
+            )
+        if not isinstance(self.metric, EuclideanMetric):
+            raise ProtocolError(
+                "mobility needs coordinate geometry (EuclideanMetric); "
+                f"this network's metric is {type(self.metric).__name__}"
+            )
+        moved = np.flatnonzero(np.any(disp != 0.0, axis=1))
+        if moved.size == 0:
+            return self
+        new_coords = self._coords + disp
+        successor = Network(
+            new_coords, params=self.params, metric=self.metric,
+            name=self.name, channel=self.channel,
+            backend=self._backend_request, cutoff=self._cutoff,
+        )
+        successor.advance_mode = "rebuild"
+        if moved.size <= rebuild_fraction * self.size:
+            if self.backend_kind == "sparse" and self._backend_obj is not None:
+                patched = self._backend_obj.advanced(new_coords, moved)
+                if patched is not None:
+                    successor._backend_kind = "sparse"
+                    successor._backend_obj = patched
+                    successor.advance_mode = "patched-sparse"
+            elif self.backend_kind == "dense" and self._dist is not None:
+                self._patch_dense(successor, new_coords, moved)
+                successor.advance_mode = "patched-dense"
+        return successor
+
+    def _patch_dense(
+        self, successor: "Network", new_coords: np.ndarray,
+        moved: np.ndarray,
+    ) -> None:
+        """Install patched distance (and gain) matrices on ``successor``.
+
+        Only the ``moved`` rows and columns are recomputed; the
+        expressions mirror :func:`repro.geometry.metric.pairwise_distances`
+        and the radial channel's elementwise gain, so patched entries
+        are bitwise equal to a fresh build's.
+        """
+        diff = new_coords[moved][:, None, :] - new_coords[None, :, :]
+        rows = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+        rows[np.arange(moved.size), moved] = 0.0
+        check = rows.copy()
+        check[np.arange(moved.size), moved] = np.inf
+        if self.size > 1 and float(check.min()) < MIN_DISTANCE:
+            raise DeploymentError(
+                "deployment contains co-located stations; the SINR "
+                "model requires distinct positions"
+            )
+        dist = np.array(self._dist)
+        dist[moved] = rows
+        dist[:, moved] = rows.T
+        dist.setflags(write=False)
+        successor._dist = dist
+        if self._gain is None:
+            return
+        gain_rows = self.channel.radial_gain(rows, self.params)
+        if gain_rows is None:
+            # Non-radial channels draw whole-matrix structure (seeded
+            # shadowing, obstacle crossings); rows cannot be patched in
+            # isolation.  The successor recomputes gains lazily from
+            # the patched distances — exactly what a fresh build does.
+            return
+        gain_rows = np.array(gain_rows)
+        gain_rows[np.arange(moved.size), moved] = 0.0
+        gain = np.array(self._gain)
+        gain[moved] = gain_rows
+        gain[:, moved] = gain_rows.T
+        gain.setflags(write=False)
+        successor._gain = gain
 
     def with_params(self, params: SINRParameters) -> "Network":
         """A copy of this network under different SINR parameters.

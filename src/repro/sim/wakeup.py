@@ -38,6 +38,7 @@ class WakeupSchedule:
 
     @property
     def size(self) -> int:
+        """Number of stations the schedule covers."""
         return self.wake_rounds.shape[0]
 
     @property

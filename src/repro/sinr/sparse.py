@@ -379,6 +379,7 @@ class SparseGainBackend:
         cutoff: Optional[float] = None,
         *,
         _csr: Optional[tuple] = None,
+        _cells: Optional["CellIndex"] = None,
     ):
         coords = np.asarray(coords, dtype=float)
         if coords.ndim == 1:
@@ -408,7 +409,12 @@ class SparseGainBackend:
             )
         self.n = coords.shape[0]
         reach = CELLS_PER_CUTOFF
-        self.cells = CellIndex(coords, self.cutoff / reach, reach=reach)
+        # _cells: the incremental update already built the (identical)
+        # index while validating grid stability — reuse it.
+        self.cells = (
+            _cells if _cells is not None
+            else CellIndex(coords, self.cutoff / reach, reach=reach)
+        )
         budget = max(MIN_CELL_BUDGET, MAX_CELLS_PER_STATION * self.n)
         if self.cells.n_cells > budget:
             raise ProtocolError(
@@ -427,6 +433,7 @@ class SparseGainBackend:
         #: regime (guaranteed when the per-axis extent is <= cutoff).
         self.far_empty = all(s <= reach + 1 for s in self.cells.shape)
         self._kernels: Optional[tuple] = None
+        self._entry_keys_cache: Optional[np.ndarray] = None
 
     # -- construction --------------------------------------------------
     def _radial(self, dist: np.ndarray) -> np.ndarray:
@@ -516,6 +523,220 @@ class SparseGainBackend:
         if self._kernels is not None:
             total += sum(k.nbytes for k in self._kernels[0:2])
         return total
+
+    # -- incremental updates (mobility, DESIGN.md §7) -------------------
+    def advanced(
+        self, new_coords: np.ndarray, moved: np.ndarray
+    ) -> Optional["SparseGainBackend"]:
+        """Backend at ``new_coords`` with only the moved *entries* redone.
+
+        Returns a new backend whose CSR triple (and aligned distances)
+        is **bitwise equal** to a from-scratch build at ``new_coords``,
+        or ``None`` when patching is unsound and the caller must rebuild
+        — the contract :meth:`repro.network.network.Network.advance`
+        relies on (DESIGN.md §7).
+
+        Patching is sound exactly when a fresh :class:`CellIndex` over
+        ``new_coords`` has the same origin and shape as this backend's:
+        the CSR *structure* — which pairs are near — is a function of
+        the cell binning, so a drifted grid changes rows that contain no
+        moved station.  Given an identical grid, an entry ``(u, v)``
+        changes only when ``u`` or ``v`` moved.  The update is therefore
+        a three-way delta merge:
+
+        * **drop** every old entry whose listener or sender moved (one
+          vectorized membership scan over the nnz entries);
+        * **recompute** the moved stations' full rows under the new
+          binning (:meth:`_rows_for` — the exact per-pair arithmetic of
+          :meth:`_build_csr`) and mirror them onto unmoved listeners
+          (cell-Chebyshev reach is symmetric, and the squared-difference
+          distance is exact under operand negation, so the mirrored
+          values are bitwise what a fresh build computes);
+        * **merge** surviving and fresh entries by the composite
+          ``row * n + sender`` key — both runs are already sorted, so
+          two ``searchsorted`` calls place every entry without a global
+          re-sort.
+
+        Gains and distances are evaluated only on the delta — O(moved
+        fraction) of the build cost; ``benchmarks/bench_mobility.py``
+        gates the resulting speedup.  Far-field kernels depend only on
+        the grid shape and are carried over.
+        """
+        new_coords = np.asarray(new_coords, dtype=float)
+        if new_coords.ndim == 1:
+            new_coords = new_coords[:, None]
+        if new_coords.shape != self.coords.shape:
+            raise GeometryError(
+                f"advanced() coordinates must keep shape "
+                f"{self.coords.shape}, got {new_coords.shape}"
+            )
+        moved = np.asarray(moved, dtype=np.int64)
+        if moved.size == 0:
+            return self
+        cells = self.cells
+        # A fresh build derives origin = min(coords) and the grid shape
+        # from the span; both must match bit for bit or the fresh CSR
+        # structure differs from anything patchable.
+        origin = new_coords.min(axis=0)
+        if not np.array_equal(origin, cells.origin):
+            return None
+        span = new_coords.max(axis=0) - origin
+        shape = tuple(
+            int(s) for s in np.floor(span / cells.h).astype(np.int64) + 1
+        )
+        if shape != cells.shape:
+            return None
+        new_cells = CellIndex(new_coords, cells.h, reach=cells.reach)
+
+        # Fresh rows of the moved stations (all their senders, moved or
+        # not) under the new binning.
+        m_listeners, m_senders, m_dists = self._rows_for(new_cells, moved)
+        if m_dists.size and float(m_dists.min()) < MIN_DISTANCE:
+            raise DeploymentError(
+                "deployment contains co-located stations; the SINR "
+                "model requires distinct positions"
+            )
+        is_moved = np.zeros(self.n, dtype=bool)
+        is_moved[moved] = True
+
+        # Dropped old entries: the moved listeners' whole rows, plus any
+        # entry whose sender moved.
+        drop = np.zeros(self.indices.size, dtype=bool)
+        moved_pos, _ = self._row_positions(moved)
+        drop[moved_pos] = True
+        drop |= is_moved[self.indices]
+        keep = ~drop
+        dropped_pos = np.flatnonzero(drop)
+        dropped_rows = (
+            np.searchsorted(self.indptr, dropped_pos, side="right") - 1
+        )
+
+        # Fresh entries: moved rows plus their mirror image at unmoved
+        # listeners (moved-moved pairs appear in both directions within
+        # the moved rows already).
+        mirror = ~is_moved[m_senders]
+        ins_rows = np.concatenate([m_listeners, m_senders[mirror]])
+        base = np.int64(self.n)
+        ins_keys = ins_rows * base + np.concatenate(
+            [m_senders, m_listeners[mirror]]
+        )
+        ins_dists = np.concatenate([m_dists, m_dists[mirror]])
+        order = np.argsort(ins_keys)  # keys are unique pairs
+        ins_keys = ins_keys[order]
+        ins_dists = ins_dists[order]
+        ins_data = self._radial(ins_dists)
+
+        # Sorted-merge: the old CSR is globally (row, sender)-ordered and
+        # so is the insert run.  Each insert's rank among the *kept*
+        # entries is its rank among all old entries minus the dropped
+        # entries before it (a pre-existing pair whose sender moved sits
+        # at its own old slot, which is dropped, so ``side="left"``
+        # counts exactly the surviving predecessors); adding the insert
+        # run's own arange turns ranks into final positions.  The kept
+        # entries then stream in order into the remaining slots via one
+        # boolean mask — no position array, sort or prefix sum ever
+        # touches the O(nnz) kept side.
+        idx_old = np.searchsorted(self._entry_keys(), ins_keys)
+        idx_ins = idx_old - np.searchsorted(dropped_pos, idx_old)
+        pos_ins = idx_ins + np.arange(ins_keys.size, dtype=np.int64)
+        nnz = self.indices.size - dropped_pos.size + ins_keys.size
+        into_kept = np.ones(nnz, dtype=bool)
+        into_kept[pos_ins] = False
+        indices = np.empty(nnz, dtype=self.indices.dtype)
+        data = np.empty(nnz)
+        indices[pos_ins] = (ins_keys % base).astype(
+            self.indices.dtype, copy=False
+        )
+        indices[into_kept] = self.indices[keep]
+        data[pos_ins] = ins_data
+        data[into_kept] = self.data[keep]
+        counts = np.diff(self.indptr)
+        counts = (
+            counts
+            - np.bincount(dropped_rows, minlength=self.n)
+            + np.bincount(ins_rows, minlength=self.n)
+        )
+        indptr = np.zeros(self.n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+
+        patched = SparseGainBackend(
+            new_coords, self.params, self.channel, self.cutoff,
+            _csr=(data, indices, indptr), _cells=new_cells,
+        )
+        # ``_dists`` stays lazy on the patched backend: protocol rounds
+        # never touch it, and the :attr:`dists` property recomputes the
+        # identical (bitwise) values on demand for the geometry queries
+        # that do.  Same grid shape and cell side => identical far-field
+        # kernels; reuse the (possibly already computed) FFT transforms.
+        patched._kernels = self._kernels
+        return patched
+
+    def _entry_keys(self) -> np.ndarray:
+        """Composite ``row * n + sender`` key per CSR entry (cached).
+
+        Strictly increasing across the CSR (rows ascend, senders ascend
+        within a row), which is what lets :meth:`advanced` merge by
+        ``searchsorted`` instead of re-sorting the whole structure.
+        """
+        if self._entry_keys_cache is None:
+            rows = np.repeat(
+                np.arange(self.n, dtype=np.int64), np.diff(self.indptr)
+            )
+            self._entry_keys_cache = rows * np.int64(self.n) + self.indices
+        return self._entry_keys_cache
+
+    def _rows_for(
+        self, cells: CellIndex, listeners: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Near-field entries of ``listeners`` under ``cells``' binning.
+
+        :returns: ``(listeners, senders, dists)`` — unsorted candidate
+            pairs over the Chebyshev-reach neighbourhoods, the same pair
+            set :meth:`CellIndex.adjacent_pair_chunks` yields for those
+            rows, with distances from the exact per-pair expression of
+            :meth:`_build_csr`.
+        """
+        dim = cells.dim
+        shape = np.asarray(cells.shape, dtype=np.int64)
+        lcells = cells.cell_vec[listeners]
+        span = range(-cells.reach, cells.reach + 1)
+        l_parts, s_parts = [], []
+        for offset in product(span, repeat=dim):
+            nb = lcells + np.asarray(offset, dtype=np.int64)
+            valid = np.all((nb >= 0) & (nb < shape), axis=1)
+            if not valid.any():
+                continue
+            src = np.flatnonzero(valid)
+            nb_flat = np.ravel_multi_index(tuple(nb[valid].T), cells.shape)
+            dst = cells._bucket_of(nb_flat)
+            hit = dst >= 0
+            if not hit.any():
+                continue
+            src, dst = src[hit], dst[hit]
+            counts = cells.bucket_count[dst]
+            total = int(counts.sum())
+            if total == 0:
+                continue
+            cum = np.zeros(counts.size, dtype=np.int64)
+            np.cumsum(counts[:-1], out=cum[1:])
+            local = np.arange(total, dtype=np.int64) - np.repeat(
+                cum, counts
+            )
+            s_idx = cells.order[
+                np.repeat(cells.bucket_start[dst], counts) + local
+            ]
+            l_parts.append(listeners[np.repeat(src, counts)])
+            s_parts.append(s_idx)
+        if not l_parts:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), np.empty(0)
+        l_all = np.concatenate(l_parts)
+        s_all = np.concatenate(s_parts)
+        keep = l_all != s_all
+        l_all, s_all = l_all[keep], s_all[keep]
+        diff = cells.coords[l_all] - cells.coords[s_all]
+        dists = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        return l_all, s_all, dists
 
     # -- far-field machinery -------------------------------------------
     def _far_kernels(self) -> tuple:

@@ -40,6 +40,21 @@ def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python tools/cache_gc.py",
         description="Report and LRU-evict the grid result cache.",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "cache-key semantics (DESIGN.md §6.3): every entry is "
+            "addressed by a SHA-256 of the grid point's inputs — "
+            "protocol kind, Network.fingerprint() (coordinates, SINR "
+            "parameters, metric, channel identity, sparse-backend "
+            "marker), constants, seed, replication count, and the "
+            "resolved kwargs.  Mobility sweeps carry their "
+            "MobilityModel in the kwargs, so dynamic runs key on the "
+            "model's identity() (knobs + trajectory seed) and can "
+            "never replay a static run's result — or another "
+            "mobility's.  Keys cover inputs, not code: entries never "
+            "go stale on input changes, which is why this LRU sweep "
+            "is the only reclamation path."
+        ),
     )
     parser.add_argument(
         "--cache-dir", default=".repro-cache", metavar="PATH",

@@ -35,7 +35,25 @@ def bank(rng):
 
 
 def main():
-    parser = argparse.ArgumentParser()
+    """Run the calibration grid and print one row per constant setting."""
+    parser = argparse.ArgumentParser(
+        prog="python tools/calibrate.py",
+        description="Sweep practical-constant settings over a bank of "
+        "canonical networks.",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "Calibration runs bypass the grid result cache on purpose: "
+            "they probe ProtocolConstants variants, and constants are "
+            "part of every cache key (kind, Network.fingerprint(), "
+            "constants, seed, kwargs — DESIGN.md §6.3), so no two "
+            "settings could collide anyway and caching partial "
+            "calibration sweeps would only mask code changes.  "
+            "Mobility never enters these keys here — calibration is "
+            "static by design; dynamic sweeps key on the mobility "
+            "model's identity() through the kwargs (see "
+            "tools/cache_gc.py --help)."
+        ),
+    )
     parser.add_argument("--broadcast", action="store_true")
     args = parser.parse_args()
 

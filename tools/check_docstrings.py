@@ -1,0 +1,161 @@
+"""Gate CI on public-docstring coverage for the library.
+
+Walks every module under ``src/repro`` with ``ast`` (nothing is
+imported) and counts docstrings on the public surface: modules, public
+classes, public top-level functions, and public methods of public
+classes (dunder methods other than ``__init__`` are exempt — their
+contracts are the language's).  Floors are per package or per module,
+mirroring ``tools/check_coverage.py``; the aggregate ``repro`` floor
+keeps the whole tree honest while the named hot modules are pinned at
+100%.
+
+Usage::
+
+    python tools/check_docstrings.py [summary.txt]
+
+Exits non-zero when any floor is violated; the summary names every
+undocumented definition so the fix is mechanical.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+#: Docstring-coverage floors (percent of public definitions documented).
+#: Ratchet upward only — a drop means new public API shipped
+#: undocumented.  The named modules are the subsystems the generated
+#: docs (tools/gen_docs.py) lean on hardest.
+FLOORS = {
+    "repro": 97.0,
+    "repro.network": 100.0,
+    "repro.sinr.sparse": 100.0,
+    "repro.fastsim.grid": 100.0,
+    "repro.deploy.mobility": 100.0,
+}
+
+
+def _public_items(
+    path: pathlib.Path,
+) -> tuple[list[tuple[str, str, bool, bool]], set[str]]:
+    """The module's public surface plus its documented method names.
+
+    :returns: ``(items, documented_methods)`` where each item is
+        ``(qualified name, method name or "", documented, is_override)``
+        — overrides (methods of classes with base classes) may inherit
+        their contract from the base's documented method of the same
+        name, which the caller resolves with the tree-wide
+        ``documented_methods`` set (the Sphinx ``autodoc``
+        inherit-docstrings convention).
+    """
+    module = ".".join(path.relative_to(SRC).with_suffix("").parts)
+    tree = ast.parse(path.read_text())
+    items = [(module, "", ast.get_docstring(tree) is not None, False)]
+    documented_methods: set[str] = set()
+
+    def visible(name: str) -> bool:
+        return not name.startswith("_") or name == "__init__"
+
+    for node in tree.body:
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ) and visible(node.name):
+            items.append(
+                (
+                    f"{module}.{node.name}", "",
+                    ast.get_docstring(node) is not None, False,
+                )
+            )
+        elif isinstance(node, ast.ClassDef) and visible(node.name):
+            items.append(
+                (
+                    f"{module}.{node.name}", "",
+                    ast.get_docstring(node) is not None, False,
+                )
+            )
+            has_bases = bool(node.bases)
+            for sub in node.body:
+                if not isinstance(
+                    sub, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                if not visible(sub.name):
+                    continue
+                documented = ast.get_docstring(sub) is not None
+                if documented:
+                    documented_methods.add(sub.name)
+                if sub.name == "__init__":
+                    # The house style documents constructor parameters
+                    # in the class docstring.
+                    continue
+                items.append(
+                    (
+                        f"{module}.{node.name}.{sub.name}",
+                        sub.name, documented, has_bases,
+                    )
+                )
+    return items, documented_methods
+
+
+def _matches(scope: str, name: str) -> bool:
+    return name == scope or name.startswith(scope + ".")
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    raw: list[tuple[str, str, bool, bool]] = []
+    documented_methods: set[str] = set()
+    for path in sorted((SRC / "repro").rglob("*.py")):
+        if path.name == "__main__.py":
+            continue
+        module_items, module_docs = _public_items(path)
+        raw.extend(module_items)
+        documented_methods |= module_docs
+    # Resolve overrides: a subclass method whose name is documented on
+    # some class in the tree (in practice its ABC — NodeAlgorithm,
+    # ChannelModel, MobilityModel, Metric) inherits that contract.
+    items = [
+        (
+            name,
+            documented
+            or (is_override and method and method in documented_methods),
+        )
+        for name, method, documented, is_override in raw
+    ]
+
+    lines = []
+    failed = False
+    for scope, floor in sorted(FLOORS.items()):
+        module_scope = scope.replace(".__init__", "")
+        covered = [
+            (name, documented)
+            for name, documented in items
+            if _matches(module_scope, name)
+        ]
+        if not covered:
+            raise SystemExit(f"no definitions found under {scope!r}")
+        documented = sum(1 for _name, ok in covered if ok)
+        percent = 100.0 * documented / len(covered)
+        verdict = "ok" if percent >= floor else "BELOW FLOOR"
+        failed |= percent < floor
+        lines.append(
+            f"{scope}: {percent:.1f}% ({documented}/{len(covered)} public "
+            f"definitions), floor {floor:.1f}% — {verdict}"
+        )
+        if percent < floor:
+            for name, ok in covered:
+                if not ok:
+                    lines.append(f"  missing: {name}")
+    summary = "\n".join(lines) + "\n"
+    sys.stdout.write(summary)
+    if argv:
+        pathlib.Path(argv[0]).write_text(summary)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
