@@ -1,26 +1,16 @@
 """Shared memory gating for the scale benchmarks.
 
 The sparse-backend and mobility benchmarks build multi-GB structures;
-they skip (and record the skip) on runners that cannot fit them.  One
-parser lives here so a fix — e.g. honoring cgroup limits that
-``MemAvailable`` overstates on containerized CI — reaches every
-benchmark at once.
+they skip (and record the skip) on runners that cannot fit them.  The
+implementation lives in :mod:`repro.sysmem` — one helper shared with
+the scale smoke tests, so a fix (e.g. honoring cgroup limits that
+``MemAvailable`` overstates on containerized CI) reaches every caller
+at once.  This module re-exports it for the bench scripts, which import
+``memutil`` by file-relative convention.
 """
 
 from __future__ import annotations
 
+from repro.sysmem import available_memory_bytes, peak_rss_bytes
 
-def available_memory_bytes() -> int:
-    """Available system memory, or a huge sentinel when unknowable.
-
-    Reads ``MemAvailable`` from ``/proc/meminfo``; on platforms without
-    it, returns ``1 << 62`` so benchmarks are never gated blind.
-    """
-    try:
-        with open("/proc/meminfo") as handle:
-            for line in handle:
-                if line.startswith("MemAvailable:"):
-                    return int(line.split()[1]) * 1024
-    except OSError:
-        pass
-    return 1 << 62
+__all__ = ["available_memory_bytes", "peak_rss_bytes"]

@@ -122,7 +122,7 @@ def fast_spont_broadcast_batch(
         network = network_hook(pilot_round, network)
     heard_from = resolve_reception_batch(
         network.gain_operator, pilot_tx, network.params.noise,
-        network.params.beta,
+        network.params.beta, kernel=network.kernel_kind,
     )[0]
     newly = (heard_from != NO_SENDER)[None, :] & ~informed
     informed |= newly

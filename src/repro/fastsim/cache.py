@@ -118,6 +118,13 @@ def point_key(
     replication count, the batch/reference switch and the identity of the
     point's post-processing hook (its extras are stored alongside the
     sweep, so a renamed hook must not replay stale extras).
+
+    The *kernel* choice (``Network(kernel=...)`` / ``REPRO_KERNEL``) is
+    deliberately absent, here and in the network fingerprint the key
+    embeds: compiled and numpy kernels are bitwise identical
+    (DESIGN.md §2.3, enforced by ``tests/test_kernel_differential.py``),
+    so a compiled run replaying a numpy run's entry — or vice versa —
+    returns exactly the bytes it would have computed.
     """
     return digest(
         {

@@ -20,6 +20,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro import kernels as _kernels
 from repro.core.coloring import FINAL_COLOR_LEVEL, NOT_PARTICIPATING
 from repro.core.constants import ColoringSchedule, ProtocolConstants
 from repro.errors import ProtocolError
@@ -150,6 +151,8 @@ def fast_coloring_batch(
         )
 
     gains = network.gain_operator
+    kern = network.kernel_kind
+    fused = _kernels.use_compiled_updates(kern)
     noise = network.params.noise
     beta = network.params.beta
     counts_self = constants.playoff_counts_self
@@ -167,7 +170,7 @@ def fast_coloring_batch(
         prob: float, length: int, count_tx: bool, block_active: np.ndarray
     ) -> np.ndarray:
         """Run one test for active replications; per-station successes."""
-        nonlocal global_round, network, gains
+        nonlocal global_round, network, gains, kern, fused
         successes = np.zeros((B, n), dtype=int)
         draws = draw_block(rngs, block_active, length, n)
         for r in range(length):
@@ -175,9 +178,17 @@ def fast_coloring_batch(
             if network_hook is not None:
                 network = network_hook(global_round, network)
                 gains = network.gain_operator
-            heard_from = resolve_reception_batch(gains, tx_mask, noise, beta)
+                kern = network.kernel_kind
+                fused = _kernels.use_compiled_updates(kern)
+            heard_from = resolve_reception_batch(
+                gains, tx_mask, noise, beta, kernel=kern
+            )
             heard = heard_from != NO_SENDER
-            if count_tx:
+            if fused:
+                _kernels.count_successes(
+                    successes, heard, tx_mask, bool(count_tx)
+                )
+            elif count_tx:
                 successes += (heard | tx_mask)
             else:
                 successes += heard

@@ -30,6 +30,7 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from repro import kernels as _kernels
 from repro.errors import ProtocolError
 from repro.network.network import Network
 from repro.sinr.reception import NO_SENDER, resolve_reception_batch
@@ -130,6 +131,8 @@ def dissemination_loop_batch(
     """
     B, n = informed.shape
     gains = network.gain_operator
+    kern = network.kernel_kind
+    fused = _kernels.use_compiled_updates(kern)
     noise = network.params.noise
     beta = network.params.beta
     if enabled is None:
@@ -150,11 +153,22 @@ def dissemination_loop_batch(
         if network_hook is not None:
             network = network_hook(round_no, network)
             gains = network.gain_operator
-        heard_from = resolve_reception_batch(gains, tx_mask, noise, beta)
-        newly = (heard_from != NO_SENDER) & ~informed & running[:, None]
-        if newly.any():
-            informed |= newly
-            informed_round[newly] = round_no
+            kern = network.kernel_kind
+            fused = _kernels.use_compiled_updates(kern)
+        heard_from = resolve_reception_batch(
+            gains, tx_mask, noise, beta, kernel=kern
+        )
+        if fused:
+            # One jitted pass over (B, n) — same integer/boolean algebra
+            # as the numpy expressions below (DESIGN.md §2.3).
+            _kernels.spread_update(
+                heard_from, informed, informed_round, running, round_no
+            )
+        else:
+            newly = (heard_from != NO_SENDER) & ~informed & running[:, None]
+            if newly.any():
+                informed |= newly
+                informed_round[newly] = round_no
         round_no += 1
         just_done = running & informed.all(axis=1)
         if just_done.any():

@@ -306,7 +306,7 @@ def _attach_network(dep_index: int) -> Network:
         return cached[1]
     _, segments = _FORK_PAYLOAD
     (shm_name, payload, coords, params, metric, channel,
-     name) = segments[dep_index]
+     name, kernel) = segments[dep_index]
     # NOTE on the resource tracker: fork workers share the parent's
     # tracker process, and its registry is a set — the attach here
     # re-registers the same name the parent registered at creation, so
@@ -326,9 +326,11 @@ def _attach_network(dep_index: int) -> Network:
         net = Network(
             coords, params=params, metric=metric, name=name,
             channel=channel, backend="sparse", cutoff=cutoff,
+            kernel=kernel,
         )
         net._backend_obj = SparseGainBackend.from_arrays(
-            coords, params, net.channel, cutoff, *views
+            coords, params, net.channel, cutoff, *views,
+            kernel=net.kernel_kind,
         )
     else:
         _, shape, dtype_str = payload
@@ -336,7 +338,7 @@ def _attach_network(dep_index: int) -> Network:
         gains.setflags(write=False)
         net = Network(
             coords, params=params, metric=metric, name=name,
-            channel=channel, backend="dense",
+            channel=channel, backend="dense", kernel=kernel,
         )
         net._gain = gains
     _WORKER_NETS[dep_index] = (shm, net)
@@ -400,6 +402,11 @@ def _create_segment(net: Network) -> tuple[shared_memory.SharedMemory, tuple]:
         net.metric,
         net.channel,
         net.name,
+        # The kernel *request* (not the resolved kind): workers resolve
+        # it against their own environment, and since the kernels are
+        # bitwise identical the choice never affects results or cache
+        # keys (DESIGN.md §2.3).
+        net._kernel_request,
     )
     return shm, descriptor
 

@@ -27,6 +27,7 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from repro import kernels as _kernels
 from repro.core.constants import ColoringSchedule, ProtocolConstants, log2ceil
 from repro.core.outcome import NEVER_INFORMED, BroadcastOutcome
 from repro.errors import ProtocolError
@@ -48,12 +49,21 @@ class VectorColoringState:
     channel outcomes, and it tracks quit levels and test counters for all
     stations of all replications.  Stations outside the ``active`` mask
     neither transmit nor observe (their counters stay frozen), matching
-    inactive reference nodes.
+    inactive reference nodes.  ``kernel`` selects the accumulation
+    implementation (fused jitted loops under ``"compiled"`` with numba;
+    the numpy expressions otherwise — same integer algebra either way,
+    DESIGN.md §2.3).
     """
 
-    def __init__(self, schedule: ColoringSchedule, batch_size: int):
+    def __init__(
+        self,
+        schedule: ColoringSchedule,
+        batch_size: int,
+        kernel: str = "numpy",
+    ):
         self.schedule = schedule
         self.constants = schedule.constants
+        self._fused = _kernels.use_compiled_updates(kernel)
         shape = (batch_size, schedule.n)
         self.quit_level = np.full(shape, -1, dtype=int)
         self.has_quit = np.zeros(shape, dtype=bool)
@@ -81,12 +91,23 @@ class VectorColoringState:
         level, _block, part, _r = self.schedule.position(offset)
         counting = active & ~self.has_quit
         if part == "density":
-            self._density += counting & (heard | transmitted)
+            if self._fused:
+                _kernels.observe_accumulate(
+                    self._density, counting, heard, transmitted, True
+                )
+            else:
+                self._density += counting & (heard | transmitted)
         else:
             counts_self = self.constants.playoff_counts_self
-            self._playoff += counting & (
-                heard | (transmitted & counts_self)
-            )
+            if self._fused:
+                _kernels.observe_accumulate(
+                    self._playoff, counting, heard, transmitted,
+                    bool(counts_self),
+                )
+            else:
+                self._playoff += counting & (
+                    heard | (transmitted & counts_self)
+                )
         if self.schedule.is_block_end(offset):
             n = self.schedule.n
             passed = (
@@ -156,6 +177,8 @@ def fast_adhoc_wakeup_batch(
         round_budget = spread + phase_len * (2 * depth + budget_slack)
 
     gains = network.gain_operator
+    kern = network.kernel_kind
+    fused = _kernels.use_compiled_updates(kern)
     noise = network.params.noise
     beta = network.params.beta
 
@@ -181,7 +204,7 @@ def fast_adhoc_wakeup_batch(
             break
         phase, offset = divmod(round_no, phase_len)
         if offset == 0 or state is None:
-            state = VectorColoringState(coloring_schedule, B)
+            state = VectorColoringState(coloring_schedule, B, kernel=kern)
             phase_diss = None
         # Spontaneous wake-ups fire before this round's transmissions.
         if spontaneous.any():
@@ -205,9 +228,19 @@ def fast_adhoc_wakeup_batch(
         if network_hook is not None:
             network = network_hook(round_no, network)
             gains = network.gain_operator
-        heard_from = resolve_reception_batch(gains, tx_mask, noise, beta)
+            kern = network.kernel_kind
+            fused = _kernels.use_compiled_updates(kern)
+        heard_from = resolve_reception_batch(
+            gains, tx_mask, noise, beta, kernel=kern
+        )
         heard = heard_from != NO_SENDER
-        mark_awake(heard, round_no)
+        if fused:
+            _kernels.wake_update(
+                heard, awake_round, active_from, round_no,
+                round_no // phase_len + 1, NEVER_INFORMED,
+            )
+        else:
+            mark_awake(heard, round_no)
         if offset < coloring_len:
             state.observe(offset, heard, tx_mask, active)
         just_done = running & (awake_round != NEVER_INFORMED).all(axis=1)

@@ -14,6 +14,7 @@ from typing import Optional
 import networkx as nx
 import numpy as np
 
+from repro import kernels as _kernels
 from repro.errors import DeploymentError, ProtocolError
 from repro.geometry.metric import (
     EuclideanMetric,
@@ -32,6 +33,11 @@ from repro.sinr.sparse import (
 
 #: Recognized SINR backend selectors (DESIGN.md §2.2).
 BACKENDS = ("auto", "dense", "sparse")
+
+#: Recognized kernel selectors (DESIGN.md §2.3) — re-exported from
+#: :mod:`repro.kernels` so callers validating ``Network(kernel=...)``
+#: requests need only this module.
+KERNELS = _kernels.KERNELS
 
 #: Moved-station fraction above which :meth:`Network.advance` drops the
 #: incremental patch and lets the successor rebuild lazily from scratch
@@ -60,6 +66,13 @@ class Network:
         Euclidean deployments under radial channels and dense otherwise.
     :param cutoff: near-field cutoff radius of the sparse backend
         (default ``2 r``); ignored in dense mode.
+    :param kernel: kernel selector (DESIGN.md §2.3): ``"numpy"`` runs
+        the vectorized reference arithmetic, ``"compiled"`` the
+        numba-jitted loop kernels (pure-python loops when numba is
+        absent), ``"auto"`` (default) defers to the ``REPRO_KERNEL``
+        environment variable and then to numba availability.  The two
+        kernels are bitwise identical, so the choice never enters
+        :meth:`fingerprint` or cache keys.
     """
 
     def __init__(
@@ -71,11 +84,16 @@ class Network:
         channel: Optional[ChannelModel] = None,
         backend: str = "auto",
         cutoff: Optional[float] = None,
+        kernel: str = "auto",
     ):
         if backend not in BACKENDS:
             raise ProtocolError(
                 f"unknown SINR backend {backend!r}; expected one of "
                 f"{BACKENDS}"
+            )
+        if kernel not in KERNELS:
+            raise ProtocolError(
+                f"unknown kernel {kernel!r}; expected one of {KERNELS}"
             )
         coords = np.asarray(coords, dtype=float)
         if coords.ndim == 1:
@@ -95,6 +113,8 @@ class Network:
         self.channel = channel if channel is not None else default_channel()
         self._backend_request = backend
         self._cutoff = cutoff
+        self._kernel_request = kernel
+        self._kernel_kind: Optional[str] = None
         self._backend_kind: Optional[str] = None
         self._backend_obj: Optional[SparseGainBackend] = None
         self._dist: Optional[np.ndarray] = None
@@ -186,6 +206,22 @@ class Network:
         return self._backend_kind
 
     @property
+    def kernel_kind(self) -> str:
+        """Resolved kernel: ``"numpy"`` or ``"compiled"``.
+
+        ``"auto"`` consults the ``REPRO_KERNEL`` environment variable
+        and then numba availability (:func:`repro.kernels.resolve_kernel`),
+        once, at first access; an explicit constructor request always
+        wins over the environment.  The fastsim round loops pass this to
+        the resolvers each round.
+        """
+        if self._kernel_kind is None:
+            self._kernel_kind = _kernels.resolve_kernel(
+                self._kernel_request
+            )
+        return self._kernel_kind
+
+    @property
     def sparse_backend(self) -> SparseGainBackend:
         """The lazily built sparse backend (sparse mode only)."""
         if self.backend_kind != "sparse":
@@ -200,7 +236,8 @@ class Network:
                     f"{type(self.metric).__name__}"
                 )
             self._backend_obj = SparseGainBackend(
-                self._coords, self.params, self.channel, self._cutoff
+                self._coords, self.params, self.channel, self._cutoff,
+                kernel=self.kernel_kind,
             )
         return self._backend_obj
 
@@ -312,6 +349,9 @@ class Network:
         appends a ``("sparse-backend", cutoff)`` marker because its
         conservative reception decisions may differ from dense ones —
         the two backends must never replay each other's cache entries.
+        The *kernel* choice is deliberately absent: compiled and numpy
+        kernels are bitwise identical (DESIGN.md §2.3), so their runs
+        may — must — share cache entries.
         """
         if self._fingerprint is None:
             identity = (
@@ -423,6 +463,7 @@ class Network:
             new_coords, params=self.params, metric=self.metric,
             name=self.name, channel=self.channel,
             backend=self._backend_request, cutoff=self._cutoff,
+            kernel=self._kernel_request,
         )
         successor.advance_mode = "rebuild"
         if moved.size <= rebuild_fraction * self.size:
@@ -490,6 +531,7 @@ class Network:
             np.array(self._coords), params=params, metric=self.metric,
             name=self.name, channel=self.channel,
             backend=self._backend_request, cutoff=self._cutoff,
+            kernel=self._kernel_request,
         )
 
     def with_channel(self, channel: ChannelModel) -> "Network":
@@ -503,6 +545,7 @@ class Network:
             np.array(self._coords), params=self.params, metric=self.metric,
             name=self.name, channel=channel,
             backend=self._backend_request, cutoff=self._cutoff,
+            kernel=self._kernel_request,
         )
 
     def describe(self) -> dict:
@@ -520,6 +563,7 @@ class Network:
             "eps": self.params.eps,
             "channel": self.channel.identity()[0],
             "backend": self.backend_kind,
+            "kernel": self.kernel_kind,
         }
 
     def __repr__(self) -> str:

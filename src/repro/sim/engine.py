@@ -108,6 +108,7 @@ class Simulator:
             transmitters,
             self.network.params.noise,
             self.network.params.beta,
+            kernel=self.network.kernel_kind,
         )
 
         if self.trace is not None:

@@ -13,8 +13,11 @@ vectorized pass.
 from __future__ import annotations
 
 import weakref
+from typing import Optional
 
 import numpy as np
+
+from repro import kernels as _kernels
 
 #: Sentinel in the sender array for "heard nothing this round".
 NO_SENDER: int = -1
@@ -47,6 +50,7 @@ def sinr_values(
     gain,
     transmitters: np.ndarray,
     noise: float,
+    kernel: Optional[str] = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Best-transmitter SINR at every station.
 
@@ -56,20 +60,31 @@ def sinr_values(
         lower bound, DESIGN.md §2.2).
     :param transmitters: index array of this round's transmitters.
     :param noise: ambient noise ``N``.
+    :param kernel: kernel request (``None`` means ``"auto"``, see
+        :func:`repro.kernels.resolve_kernel`); ``"numpy"`` and
+        ``"compiled"`` are bitwise-identical (DESIGN.md §2.3).
     :returns: ``(best_sender, sinr)`` — for each station, the index of the
         strongest transmitter (``NO_SENDER`` if none transmit) and the SINR
         of that transmitter at the station (0 where no sender).
     """
     sparse = getattr(gain, "sinr_values", None)
     if sparse is not None:
-        return sparse(transmitters, noise)
+        return sparse(transmitters, noise, kernel=kernel)
     n = gain.shape[0]
     transmitters = np.asarray(transmitters, dtype=np.intp)
     best_sender = np.full(n, NO_SENDER, dtype=np.intp)
     if transmitters.size == 0:
         return best_sender, np.zeros(n)
+    if _kernels.resolve_kernel(kernel) == "compiled":
+        best_sender, strongest_gain, total = _kernels.sinr_single(
+            gain, transmitters
+        )
+        interference = total - strongest_gain
+        return best_sender, strongest_gain / (noise + interference)
     tx_gain = gain[transmitters]                 # (|T|, n)
-    total = tx_gain.sum(axis=0)                  # (n,)
+    # In-order fold along the given transmitter order (not a pairwise
+    # sum) — the order the compiled kernel replicates bit for bit.
+    total = np.einsum("tu->u", tx_gain, optimize=False)
     strongest_pos = np.argmax(tx_gain, axis=0)   # (n,) positions into T
     strongest_gain = tx_gain[strongest_pos, _listener_index(n)]
     interference = total - strongest_gain
@@ -82,6 +97,7 @@ def sinr_values_batch(
     gain: np.ndarray,
     tx_mask: np.ndarray,
     noise: float,
+    kernel: Optional[str] = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Best-transmitter SINR for ``B`` independent rounds at once.
 
@@ -93,6 +109,8 @@ def sinr_values_batch(
     :param gain: shared ``(n, n)`` gain matrix.
     :param tx_mask: ``(B, n)`` boolean transmitter mask.
     :param noise: ambient noise ``N``.
+    :param kernel: kernel request (``None`` means ``"auto"``); both
+        kernels return identical bytes (DESIGN.md §2.3).
     :returns: ``(best_sender, sinr)``, both ``(B, n)``.  ``best_sender``
         is :data:`NO_SENDER` where a replication has no transmitters; it
         is only meaningful where the SINR clears the threshold (with an
@@ -103,9 +121,14 @@ def sinr_values_batch(
         raise ValueError(
             f"tx_mask must be (B, {gain.shape[0]}), got {tx_mask.shape}"
         )
-    strongest_pos, strongest_gain, total = _strongest_transmitters(
-        gain, tx_mask
-    )
+    if _kernels.resolve_kernel(kernel) == "compiled":
+        strongest_pos, strongest_gain, total = _kernels.dense_strongest(
+            gain, tx_mask
+        )
+    else:
+        strongest_pos, strongest_gain, total = _strongest_transmitters(
+            gain, tx_mask
+        )
     sinr = strongest_gain / (noise + total - strongest_gain)
     best_sender = np.where(
         tx_mask.any(axis=1)[:, None], strongest_pos, NO_SENDER
@@ -243,19 +266,21 @@ def resolve_reception_batch(
     noise: float,
     beta: float,
     max_elements: int = 1 << 22,
+    kernel: Optional[str] = None,
 ) -> np.ndarray:
     """Batched :func:`resolve_reception` over a ``(B, n)`` transmitter mask.
 
     Agrees elementwise with running the single-instance resolver on each
     row (ties between equal-gain transmitters break toward the lowest
-    station index in both) up to floating-point association in the
-    interference sum: the single resolver uses numpy's pairwise ``sum``
-    while this one folds in order, so an SINR landing within an ulp of
-    ``beta`` could in principle resolve differently.  *Within* the
-    batched family the arithmetic is exact — a row's result is bitwise
-    independent of the batch (and the slab slicing bounded by
-    ``max_elements``) it rides in, which is the contract the sweep
-    engine builds on (DESIGN.md §6.2).
+    station index in both) up to floating-point association in the SINR
+    denominator: the single resolver groups it ``noise + (total -
+    signal)`` while this one groups ``(noise + total) - signal``, so an
+    SINR landing within an ulp of ``beta`` could in principle resolve
+    differently.  *Within* each family the arithmetic is exact — a
+    row's result is bitwise independent of the batch (and the slab
+    slicing bounded by ``max_elements``) it rides in, and independent
+    of the ``kernel`` serving it — which is the contract the sweep
+    engine builds on (DESIGN.md §6.2, §2.3).
 
     ``gain`` may be a :class:`~repro.sinr.sparse.SparseGainBackend`
     instead of a dense matrix: the per-listener CSR scan replaces the
@@ -268,10 +293,20 @@ def resolve_reception_batch(
     """
     sparse = getattr(gain, "resolve_reception_batch", None)
     if sparse is not None:
-        return sparse(tx_mask, noise, beta)
+        return sparse(tx_mask, noise, beta, kernel=kernel)
     tx_mask = np.asarray(tx_mask, dtype=bool)
     n = gain.shape[0]
     B = tx_mask.shape[0]
+    if _kernels.resolve_kernel(kernel) == "compiled":
+        # The loop kernel never materializes the (B, n, k) position
+        # tensor, so no slab slicing is needed; its per-row results are
+        # bitwise equal to the numpy slabs regardless.
+        strongest, strongest_gain, total = _kernels.dense_strongest(
+            gain, tx_mask
+        )
+        sinr = strongest_gain / (noise + total - strongest_gain)
+        heard = (sinr >= beta) & ~tx_mask & tx_mask.any(axis=1)[:, None]
+        return np.where(heard, strongest, NO_SENDER).astype(np.intp)
     slab = max(1, max_elements // max(1, n * n))
     if B <= slab:
         return _resolve_slab(gain, tx_mask, noise, beta)
@@ -299,6 +334,7 @@ def resolve_reception(
     transmitters: np.ndarray,
     noise: float,
     beta: float,
+    kernel: Optional[str] = None,
 ) -> np.ndarray:
     """Sender heard by each station this round (Eq. (1)).
 
@@ -313,8 +349,8 @@ def resolve_reception(
     """
     sparse = getattr(gain, "resolve_reception", None)
     if sparse is not None:
-        return sparse(transmitters, noise, beta)
-    best_sender, sinr = sinr_values(gain, transmitters, noise)
+        return sparse(transmitters, noise, beta, kernel=kernel)
+    best_sender, sinr = sinr_values(gain, transmitters, noise, kernel=kernel)
     heard = np.where(sinr >= beta, best_sender, NO_SENDER)
     transmitters = np.asarray(transmitters, dtype=np.intp)
     if transmitters.size:

@@ -55,6 +55,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import kernels as _kernels
 from repro.errors import DeploymentError, GeometryError, ProtocolError
 from repro.geometry.growth import growth_dimension_estimate
 from repro.geometry.metric import MIN_DISTANCE, pairwise_distances
@@ -369,6 +370,11 @@ class SparseGainBackend:
         broadcast range they induce.
     :param channel: channel model; must be radial (distance-only).
     :param cutoff: near-field cutoff radius ``R`` (default ``2 r``).
+    :param kernel: kernel request for the near scan (``None`` means
+        ``"auto"``; resolved once at construction via
+        :func:`repro.kernels.resolve_kernel`).  Both kernels return
+        identical bytes (DESIGN.md §2.3), so the choice never enters
+        fingerprints or cache keys.
     """
 
     def __init__(
@@ -378,6 +384,7 @@ class SparseGainBackend:
         channel=None,
         cutoff: Optional[float] = None,
         *,
+        kernel: Optional[str] = None,
         _csr: Optional[tuple] = None,
         _cells: Optional["CellIndex"] = None,
     ):
@@ -394,6 +401,7 @@ class SparseGainBackend:
         self.cutoff = float(
             cutoff if cutoff is not None else default_cutoff(params)
         )
+        self.kernel = _kernels.resolve_kernel(kernel)
         if self.cutoff < params.broadcast_range:
             raise ProtocolError(
                 f"sparse cutoff {self.cutoff} is below the broadcast range "
@@ -489,6 +497,7 @@ class SparseGainBackend:
         data: np.ndarray,
         indices: np.ndarray,
         indptr: np.ndarray,
+        kernel: Optional[str] = None,
     ) -> "SparseGainBackend":
         """Rebuild a backend around precomputed CSR arrays.
 
@@ -497,10 +506,11 @@ class SparseGainBackend:
         the CSR arrays are zero-copy views into the parent's
         shared-memory segment.  The arrays must be exactly the ones a
         fresh build would produce — they carry the round arithmetic.
+        ``kernel`` carries the parent's kernel request into the worker.
         """
         return cls(
             coords, params, channel, cutoff,
-            _csr=(data, indices, indptr),
+            kernel=kernel, _csr=(data, indices, indptr),
         )
 
     @property
@@ -661,7 +671,8 @@ class SparseGainBackend:
 
         patched = SparseGainBackend(
             new_coords, self.params, self.channel, self.cutoff,
-            _csr=(data, indices, indptr), _cells=new_cells,
+            kernel=self.kernel, _csr=(data, indices, indptr),
+            _cells=new_cells,
         )
         # ``_dists`` stays lazy on the patched backend: protocol rounds
         # never touch it, and the :attr:`dists` property recomputes the
@@ -889,7 +900,7 @@ class SparseGainBackend:
         return listeners, values, senders
 
     def _near_scan(
-        self, transmitters: np.ndarray
+        self, transmitters: np.ndarray, kernel: Optional[str] = None
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Exact near-field totals and strongest near sender.
 
@@ -897,8 +908,15 @@ class SparseGainBackend:
             ``total`` folds gains in ascending sender order (bincount
             walks the concatenated rows sequentially), matching the
             dense einsum contraction bit for bit; ties in ``best_gain``
-            resolve to the lowest sender index like dense argmax.
+            resolve to the lowest sender index like dense argmax.  The
+            compiled kernel walks the same CSR rows in the same order,
+            so its bytes are identical (DESIGN.md §2.3).
         """
+        if (kernel or self.kernel) == "compiled":
+            return _kernels.csr_near_scan(
+                self.indptr, self.indices, self.data,
+                np.asarray(transmitters, dtype=np.int64), self.n,
+            )
         listeners, values, senders = self._gather_rows(transmitters)
         total = np.bincount(listeners, weights=values, minlength=self.n)
         best_gain = np.zeros(self.n)
@@ -912,20 +930,29 @@ class SparseGainBackend:
 
     # -- resolvers -------------------------------------------------------
     def resolve_reception_batch(
-        self, tx_mask: np.ndarray, noise: float, beta: float
+        self,
+        tx_mask: np.ndarray,
+        noise: float,
+        beta: float,
+        kernel: Optional[str] = None,
     ) -> np.ndarray:
         """Batched Eq. (1) resolution with the certified truncation fold.
 
         Mirrors :func:`repro.sinr.reception.resolve_reception_batch`:
         returns the ``(B, n)`` heard-sender array.  The SINR denominator
         is ``N + I_near + I_far_estimate + band``; with the far set
-        empty it degenerates to the dense expression exactly.
+        empty it degenerates to the dense expression exactly.  ``kernel``
+        overrides the backend's construction-time kernel for this call.
         """
         tx_mask = np.asarray(tx_mask, dtype=bool)
         if tx_mask.ndim != 2 or tx_mask.shape[1] != self.n:
             raise ValueError(
                 f"tx_mask must be (B, {self.n}), got {tx_mask.shape}"
             )
+        kern = (
+            self.kernel if kernel is None
+            else _kernels.resolve_kernel(kernel)
+        )
         B = tx_mask.shape[0]
         heard = np.full((B, self.n), NO_SENDER, dtype=np.intp)
         far = band = None
@@ -935,7 +962,9 @@ class SparseGainBackend:
             transmitters = np.flatnonzero(tx_mask[b])
             if transmitters.size == 0:
                 continue
-            total, best_gain, best_sender = self._near_scan(transmitters)
+            total, best_gain, best_sender = self._near_scan(
+                transmitters, kern
+            )
             denom = noise + total - best_gain
             if far is not None:
                 denom = denom + far[b] + band[b]
@@ -945,7 +974,10 @@ class SparseGainBackend:
         return heard
 
     def sinr_values(
-        self, transmitters: np.ndarray, noise: float
+        self,
+        transmitters: np.ndarray,
+        noise: float,
+        kernel: Optional[str] = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Best near transmitter and its conservative SINR per station.
 
@@ -953,14 +985,19 @@ class SparseGainBackend:
         the SINR is the *certified lower bound* (truncation band folded
         into the denominator), equal to the dense value when the far set
         is empty.  Duplicate transmitter indices are collapsed.
+        ``kernel`` overrides the construction-time kernel for this call.
         """
         transmitters = np.unique(
             np.asarray(transmitters, dtype=np.int64)
         )
+        kern = (
+            self.kernel if kernel is None
+            else _kernels.resolve_kernel(kernel)
+        )
         best_sender = np.full(self.n, NO_SENDER, dtype=np.intp)
         if transmitters.size == 0:
             return best_sender, np.zeros(self.n)
-        total, best_gain, best = self._near_scan(transmitters)
+        total, best_gain, best = self._near_scan(transmitters, kern)
         denom = noise + total - best_gain
         if not self.far_empty:
             mask = np.zeros((1, self.n), dtype=bool)
@@ -973,14 +1010,18 @@ class SparseGainBackend:
         return best_sender, sinr
 
     def resolve_reception(
-        self, transmitters: np.ndarray, noise: float, beta: float
+        self,
+        transmitters: np.ndarray,
+        noise: float,
+        beta: float,
+        kernel: Optional[str] = None,
     ) -> np.ndarray:
         """Single-round resolution (the ``B = 1`` batched case)."""
         transmitters = np.asarray(transmitters, dtype=np.int64)
         mask = np.zeros((1, self.n), dtype=bool)
         if transmitters.size:
             mask[0, transmitters] = True
-        return self.resolve_reception_batch(mask, noise, beta)[0]
+        return self.resolve_reception_batch(mask, noise, beta, kernel)[0]
 
     # -- geometry queries ------------------------------------------------
     def pairs_within(

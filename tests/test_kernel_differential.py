@@ -1,0 +1,346 @@
+"""Differential tests of the compiled kernel backend (DESIGN.md §2.3).
+
+The compiled loops (numba-jitted where available, pure python otherwise)
+and the numpy reference arithmetic are two implementations of one
+function, and the contract between them is **bitwise equality** — the
+property that lets the result cache and the network fingerprint ignore
+the kernel choice entirely.  This suite is the enforcement:
+
+* hypothesis fuzz over random gain matrices, transmitter masks and
+  sparse deployments, asserting resolver outputs equal bit for bit;
+* full protocol traces (broadcast and wake-up) across deployment
+  families, channel models and both SINR backends, asserting the
+  *entire execution* — every per-station round stamp — is identical;
+* a mobility ``advance`` step, whose patched CSR state must not depend
+  on the kernel that will consume it;
+* a cross-kernel cache replay: a sweep computed under ``numpy`` must be
+  *hit* (not recomputed) by the same sweep requested under
+  ``compiled``, because their keys coincide by design;
+* the selection semantics of :func:`repro.kernels.resolve_kernel` and
+  the ``REPRO_KERNEL`` environment override.
+
+Everything here runs with or without numba — without it, the
+``compiled`` leg exercises the un-jitted loop bodies, which are the
+same arithmetic the jit compiles.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import kernels
+from repro.core.constants import ProtocolConstants
+from repro.deploy import (
+    BrownianDrift,
+    corridor,
+    fractal_clusters,
+    uniform_cube,
+    uniform_square,
+)
+from repro.errors import ProtocolError
+from repro.fastsim.broadcast import fast_spont_broadcast_batch
+from repro.fastsim.engine import spawn_rngs
+from repro.fastsim.grid import GridPoint, GridSpec, run_grid
+from repro.fastsim.wakeup import fast_adhoc_wakeup_batch
+from repro.geometry.metric import pairwise_distances
+from repro.network.network import Network
+from repro.sim.wakeup import WakeupSchedule
+from repro.sinr.channel import DualSlope
+from repro.sinr.gain import gain_matrix
+from repro.sinr.params import SINRParameters
+from repro.sinr.reception import (
+    resolve_reception,
+    resolve_reception_batch,
+    sinr_values,
+    sinr_values_batch,
+)
+from repro.sinr.sparse import SparseGainBackend
+
+pytestmark = pytest.mark.compiled
+
+PARAMS = SINRParameters.default()
+CONSTANTS = ProtocolConstants.practical()
+KERNEL_PAIR = ("numpy", "compiled")
+
+
+def _gains(seed: int, n: int, side: float = 2.2) -> np.ndarray:
+    coords = np.random.default_rng(seed).uniform(0, side, size=(n, 2))
+    return gain_matrix(pairwise_distances(coords), PARAMS.power, PARAMS.alpha)
+
+
+def _bitwise(results):
+    """Assert the per-kernel results are bitwise identical; return one."""
+    a, b = results
+    first, second = (a, b) if isinstance(a, tuple) else ((a,), (b,))
+    for x, y in zip(first, second):
+        assert np.array_equal(np.asarray(x), np.asarray(y))
+    return a
+
+
+class TestResolverFuzz:
+    """Hypothesis-quantified bitwise equality of the resolver kernels."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        n=st.integers(2, 32),
+        B=st.integers(1, 5),
+        prob=st.floats(0.0, 1.0),
+    )
+    def test_dense_batched(self, seed, n, B, prob):
+        gain = _gains(seed, n)
+        tx_mask = np.random.default_rng(seed ^ 0xC0FE).random((B, n)) < prob
+        _bitwise([
+            resolve_reception_batch(
+                gain, tx_mask, PARAMS.noise, PARAMS.beta, kernel=k
+            )
+            for k in KERNEL_PAIR
+        ])
+        _bitwise([
+            sinr_values_batch(gain, tx_mask, PARAMS.noise, kernel=k)
+            for k in KERNEL_PAIR
+        ])
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        n=st.integers(1, 32),
+        k=st.integers(1, 32),
+    )
+    def test_dense_single_unsorted_transmitters(self, seed, n, k):
+        # sinr_values folds in the given transmitter order (argmax
+        # first-occurrence semantics) — feed it a permutation, not a
+        # sorted set, so an accidental sort in either path would show.
+        gain = _gains(seed, n)
+        tx = np.random.default_rng(seed ^ 0xBEEF).permutation(n)[
+            : min(k, n)
+        ]
+        _bitwise([
+            sinr_values(gain, tx, PARAMS.noise, kernel=kern)
+            for kern in KERNEL_PAIR
+        ])
+        _bitwise([
+            resolve_reception(gain, tx, PARAMS.noise, PARAMS.beta, kernel=kern)
+            for kern in KERNEL_PAIR
+        ])
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        n=st.integers(8, 48),
+        B=st.integers(1, 4),
+        prob=st.floats(0.05, 0.6),
+        side=st.sampled_from([1.8, 5.0]),  # covered vs truncated far field
+        cutoff=st.sampled_from([1.0, 2.0]),
+        dual_slope=st.booleans(),
+    )
+    def test_sparse_csr_scan(self, seed, n, B, prob, side, cutoff, dual_slope):
+        coords = np.random.default_rng(seed).uniform(0, side, size=(n, 2))
+        channel = DualSlope() if dual_slope else None
+        backends = [
+            SparseGainBackend(coords, PARAMS, channel, cutoff, kernel=k)
+            for k in KERNEL_PAIR
+        ]
+        rng = np.random.default_rng(seed ^ 0xFACE)
+        tx_mask = rng.random((B, n)) < prob
+        _bitwise([
+            b.resolve_reception_batch(tx_mask, PARAMS.noise, PARAMS.beta)
+            for b in backends
+        ])
+        tx = np.flatnonzero(tx_mask[0])
+        _bitwise([b.sinr_values(tx, PARAMS.noise) for b in backends])
+
+
+#: Small connected deployments spanning the geometry families the paper
+#: cares about: planar uniform, a corridor strip, a fractal cluster
+#: hierarchy, and a 3D cube.
+DEPLOYMENTS = {
+    "square": lambda rng: uniform_square(n=24, side=2.2, rng=rng),
+    "corridor": lambda rng: corridor(n=24, length=6.0, width=1.0, rng=rng),
+    "fractal": lambda rng: fractal_clusters(levels=3, branching=3, rng=rng),
+    "cube3d": lambda rng: uniform_cube(n=24, side=1.4, rng=rng),
+}
+
+CHANNELS = {"uniform": None, "dual-slope": DualSlope()}
+
+
+class TestProtocolTraces:
+    """Whole protocol executions are kernel-independent, stamp for stamp.
+
+    Each leg rebuilds the deployment and the replication rngs from the
+    same seeds under a different ``REPRO_KERNEL``, so the comparison
+    covers the full production path — deployment, coloring, pilot
+    rounds, dissemination, per-round state updates — not just one
+    resolver call.
+    """
+
+    def _trace(self, monkeypatch, kern, deploy, channel, backend):
+        monkeypatch.setenv(kernels.KERNEL_ENV, kern)
+        net = deploy(np.random.default_rng(42))
+        if channel is not None:
+            net = net.with_channel(channel)
+        if backend == "sparse":
+            net = Network(
+                net.coords, net.params, name=net.name,
+                channel=net.channel, backend="sparse", cutoff=2.0,
+            )
+        assert net.kernel_kind == kernels.resolve_kernel(kern)
+        return fast_spont_broadcast_batch(
+            net, 0, CONSTANTS, spawn_rngs(2, 99)
+        )
+
+    @pytest.mark.parametrize("channel_name", sorted(CHANNELS))
+    @pytest.mark.parametrize("deploy_name", sorted(DEPLOYMENTS))
+    def test_broadcast_trace(self, monkeypatch, deploy_name, channel_name):
+        runs = [
+            self._trace(
+                monkeypatch, kern, DEPLOYMENTS[deploy_name],
+                CHANNELS[channel_name], "dense",
+            )
+            for kern in KERNEL_PAIR
+        ]
+        for a, b in zip(*runs):
+            assert a.success == b.success
+            assert a.completion_round == b.completion_round
+            assert a.total_rounds == b.total_rounds
+            assert np.array_equal(a.informed_round, b.informed_round)
+
+    def test_broadcast_trace_sparse_backend(self, monkeypatch):
+        runs = [
+            self._trace(
+                monkeypatch, kern, DEPLOYMENTS["square"], None, "sparse"
+            )
+            for kern in KERNEL_PAIR
+        ]
+        for a, b in zip(*runs):
+            assert a.total_rounds == b.total_rounds
+            assert np.array_equal(a.informed_round, b.informed_round)
+
+    def test_wakeup_trace(self, monkeypatch):
+        outcomes = []
+        for kern in KERNEL_PAIR:
+            monkeypatch.setenv(kernels.KERNEL_ENV, kern)
+            net = DEPLOYMENTS["square"](np.random.default_rng(42))
+            schedule = WakeupSchedule(
+                np.random.default_rng(3).integers(0, 6, net.size)
+            )
+            outcomes.append(
+                fast_adhoc_wakeup_batch(
+                    net, schedule, CONSTANTS, spawn_rngs(2, 5),
+                    round_budget=200,
+                )
+            )
+        for a, b in zip(*outcomes):
+            assert a.success == b.success
+            assert a.total_rounds == b.total_rounds
+            assert np.array_equal(a.informed_round, b.informed_round)
+            assert a.extras["wakeup_time"] == b.extras["wakeup_time"]
+
+
+class TestMobilityAdvance:
+    """The incrementally-patched sparse state is kernel-independent."""
+
+    def test_advanced_csr_bitwise_across_kernels(self):
+        coords = np.random.default_rng(8).uniform(0, 4, size=(40, 2))
+        session = BrownianDrift(0.05, seed=3).session(coords)
+        disp = session.displacements(coords, 0)
+        advanced = []
+        for kern in KERNEL_PAIR:
+            net = Network(
+                coords, backend="sparse", cutoff=1.5, kernel=kern
+            ).advance(disp)
+            backend = net.sparse_backend
+            advanced.append(
+                (backend.indptr, backend.indices, backend.data, net)
+            )
+        (pa, ia, da, neta), (pb, ib, db, netb) = advanced
+        assert np.array_equal(pa, pb)
+        assert np.array_equal(ia, ib)
+        assert np.array_equal(da, db)
+        tx = np.random.default_rng(5).random((3, 40)) < 0.3
+        _bitwise([
+            resolve_reception_batch(
+                net.gain_operator, tx, PARAMS.noise, PARAMS.beta
+            )
+            for net in (neta, netb)
+        ])
+
+
+class TestCacheReplay:
+    """A numpy-computed sweep replays under ``compiled`` — same key."""
+
+    def test_cross_kernel_cache_hit(self, tmp_path):
+        coords = np.random.default_rng(1).uniform(0, 1.5, size=(12, 2))
+
+        def point(kern):
+            return GridPoint(
+                kind="spont_broadcast",
+                deployment=lambda rng: Network(
+                    coords, name="diff-cache", kernel=kern
+                ),
+                n_replications=2,
+                label=f"kernel={kern}",
+                constants=CONSTANTS,
+                kwargs={"source": 0},
+            )
+
+        first = run_grid(
+            GridSpec(points=[point("numpy")], seed=7, name="diff"),
+            jobs=1, cache_dir=tmp_path,
+        )[0]
+        assert not first.cached
+        replay = run_grid(
+            GridSpec(points=[point("compiled")], seed=7, name="diff"),
+            jobs=1, cache_dir=tmp_path,
+        )[0]
+        assert replay.cached  # the §2.3 contract, paying rent
+        assert np.array_equal(first.sweep.rounds, replay.sweep.rounds,
+                              equal_nan=True)
+        assert np.array_equal(first.sweep.success, replay.sweep.success)
+
+
+class TestKernelSelection:
+    """``resolve_kernel`` / ``REPRO_KERNEL`` semantics (DESIGN.md §2.3)."""
+
+    def test_none_means_auto(self, monkeypatch):
+        monkeypatch.delenv(kernels.KERNEL_ENV, raising=False)
+        assert kernels.resolve_kernel(None) == kernels.resolve_kernel("auto")
+        expected = "compiled" if kernels.HAVE_NUMBA else "numpy"
+        assert kernels.resolve_kernel("auto") == expected
+
+    def test_env_fills_auto(self, monkeypatch):
+        for kern in KERNEL_PAIR:
+            monkeypatch.setenv(kernels.KERNEL_ENV, kern)
+            assert kernels.resolve_kernel("auto") == kern
+            assert kernels.resolve_kernel(None) == kern
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(kernels.KERNEL_ENV, "numpy")
+        assert kernels.resolve_kernel("compiled") == "compiled"
+        monkeypatch.setenv(kernels.KERNEL_ENV, "compiled")
+        assert kernels.resolve_kernel("numpy") == "numpy"
+
+    def test_rejects_unknown_request(self):
+        with pytest.raises(ProtocolError):
+            kernels.resolve_kernel("fortran")
+
+    def test_rejects_unknown_env_value(self, monkeypatch):
+        monkeypatch.setenv(kernels.KERNEL_ENV, "fortran")
+        with pytest.raises(ProtocolError):
+            kernels.resolve_kernel("auto")
+        # ... but explicit requests never consult the environment.
+        assert kernels.resolve_kernel("numpy") == "numpy"
+
+    def test_network_validates_kernel(self):
+        coords = np.zeros((2, 2))
+        coords[1, 0] = 0.5
+        with pytest.raises(ProtocolError):
+            Network(coords, kernel="fortran")
+        net = Network(coords, kernel="compiled")
+        assert net.kernel_kind == "compiled"
+        assert net.describe()["kernel"] == "compiled"
+
+    def test_fused_updates_require_numba(self):
+        assert not kernels.use_compiled_updates("numpy")
+        assert kernels.use_compiled_updates("compiled") == kernels.HAVE_NUMBA

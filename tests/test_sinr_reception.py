@@ -3,11 +3,17 @@
 These encode the paper's Facts 2/3-style reasoning as concrete channel
 behaviours: lone transmitters reach their range, co-transmitters collide,
 capture favours the nearest transmitter.
+
+The whole module is parametrized over the kernel backend (via the
+autouse :func:`kernel` fixture setting ``REPRO_KERNEL``), so every
+resolver test here doubles as a backend-conformance test: the compiled
+loops must reproduce the numpy reference bit for bit (DESIGN.md §2.3).
 """
 
 import numpy as np
 import pytest
 
+from repro import kernels
 from repro.errors import SimulationError
 from repro.geometry.metric import pairwise_distances
 from repro.sinr.gain import gain_matrix, interference_at, received_power
@@ -21,6 +27,25 @@ from repro.sinr.reception import (
 )
 
 PARAMS = SINRParameters.default()  # alpha=3, beta=1, N=1, P=1*1... range 1
+
+
+@pytest.fixture(
+    autouse=True,
+    params=["numpy", "compiled"],
+    ids=["k-numpy", "k-compiled"],
+)
+def kernel(request, monkeypatch):
+    """Run every test in this module under both kernel backends.
+
+    The resolvers default to ``kernel=None`` (= ``"auto"``), which
+    consults :data:`repro.kernels.KERNEL_ENV` — so one environment
+    variable flips the whole module without touching any call site.
+    Without numba the ``"compiled"`` leg runs the un-jitted pure-python
+    loops: slow but bitwise identical, which is exactly the contract
+    under test.
+    """
+    monkeypatch.setenv(kernels.KERNEL_ENV, request.param)
+    return request.param
 
 
 def _gains(positions):
@@ -265,6 +290,105 @@ class TestSinrValues:
         manual = g[0, 1] / (PARAMS.noise + g[2, 1])
         assert best[1] == 0
         assert sinr[1] == pytest.approx(manual)
+
+
+class TestKernelEdgeCases:
+    """Degenerate shapes where loop bounds and sentinels earn their keep.
+
+    Each case also asserts explicit ``kernel="numpy"`` vs
+    ``kernel="compiled"`` bitwise equality, independent of the autouse
+    environment parametrization — so a broken env override cannot mask
+    a divergence.
+    """
+
+    @staticmethod
+    def _both(fn):
+        a = fn(kernel="numpy")
+        b = fn(kernel="compiled")
+        assert np.array_equal(a, b)
+        return a
+
+    def test_single_station_transmitting(self):
+        g = _gains([[0.0, 0.0]])  # n=1: the 1x1 zero matrix
+        heard = self._both(
+            lambda kernel: resolve_reception(
+                g, np.array([0]), PARAMS.noise, PARAMS.beta, kernel=kernel
+            )
+        )
+        assert heard[0] == NO_SENDER  # half-duplex, nobody to hear it
+
+    def test_single_station_silent(self):
+        g = _gains([[0.0, 0.0]])
+        heard = self._both(
+            lambda kernel: resolve_reception(
+                g, np.array([], dtype=int), PARAMS.noise, PARAMS.beta,
+                kernel=kernel,
+            )
+        )
+        assert heard[0] == NO_SENDER
+
+    def test_all_transmit(self):
+        g = _gains([[0, 0], [0.5, 0], [1.0, 0], [0.2, 0.4]])
+        heard = self._both(
+            lambda kernel: resolve_reception(
+                g, np.arange(4), PARAMS.noise, PARAMS.beta, kernel=kernel
+            )
+        )
+        assert np.all(heard == NO_SENDER)
+
+    def test_empty_transmitter_set_batched(self):
+        g = _gains([[0, 0], [0.5, 0], [1.0, 0]])
+        tx_mask = np.zeros((4, 3), dtype=bool)
+        tx_mask[1, 0] = True  # one live row between empty ones
+        heard = self._both(
+            lambda kernel: resolve_reception_batch(
+                g, tx_mask, PARAMS.noise, PARAMS.beta, kernel=kernel
+            )
+        )
+        assert np.all(heard[[0, 2, 3]] == NO_SENDER)
+        assert heard[1, 1] == 0
+
+    def test_single_listener(self):
+        # Everyone but station 2 transmits: one listener, full channel.
+        g = _gains([[0, 0], [3.0, 0], [0.3, 0.3]])
+        heard = self._both(
+            lambda kernel: resolve_reception(
+                g, np.array([0, 1]), PARAMS.noise, PARAMS.beta,
+                kernel=kernel,
+            )
+        )
+        assert heard[2] == 0  # station 1 is too far to interfere
+        assert heard[0] == heard[1] == NO_SENDER
+
+    def test_unsorted_duplicate_transmitters_single(self):
+        # sinr_values folds in the *given* order (argmax positional
+        # semantics); the compiled loop must reproduce that, not a
+        # sorted variant.
+        g = _gains(np.random.default_rng(11).uniform(0, 2, size=(9, 2)))
+        tx = np.array([7, 2, 5, 2])
+        for part in (0, 1):
+            self._both(
+                lambda kernel: sinr_values(
+                    g, tx, PARAMS.noise, kernel=kernel
+                )[part]
+            )
+
+    def test_sparse_backend_edges(self):
+        from repro.sinr.sparse import SparseGainBackend
+
+        coords = np.random.default_rng(5).uniform(0, 3, size=(16, 2))
+        for tx in (
+            np.array([], dtype=int),        # empty transmitter set
+            np.arange(16),                  # all transmit
+            np.array([3]),                  # lone transmitter
+        ):
+            heard = self._both(
+                lambda kernel: SparseGainBackend(
+                    coords, PARAMS, None, 1.5, kernel=kernel
+                ).resolve_reception(tx, PARAMS.noise, PARAMS.beta)
+            )
+            if tx.size in (0, 16):
+                assert np.all(heard == NO_SENDER)
 
 
 class TestRankCacheEviction:

@@ -36,6 +36,7 @@ FLOORS = {
     "repro.sinr.sparse": 100.0,
     "repro.fastsim.grid": 100.0,
     "repro.deploy.mobility": 100.0,
+    "repro.kernels": 100.0,
 }
 
 
