@@ -22,7 +22,7 @@ import time
 import numpy as np
 import pytest
 
-from memutil import available_memory_bytes, peak_rss_bytes
+from repro.sysmem import available_memory_bytes, peak_rss_bytes
 from repro import kernels
 from repro.core.constants import ProtocolConstants
 from repro.network.network import Network

@@ -21,7 +21,7 @@ import time
 import numpy as np
 import pytest
 
-from memutil import available_memory_bytes
+from repro.sysmem import available_memory_bytes
 from repro.network.network import Network
 from repro.sinr.sparse import SparseGainBackend
 

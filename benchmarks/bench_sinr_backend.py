@@ -22,7 +22,7 @@ import math
 import numpy as np
 import pytest
 
-from memutil import available_memory_bytes
+from repro.sysmem import available_memory_bytes
 from repro.core.constants import ProtocolConstants
 from repro.network.network import Network
 from repro.sinr.reception import resolve_reception_batch

@@ -1,0 +1,94 @@
+"""Query a resident network through the SINR service (DESIGN.md §8).
+
+Starts an in-process service daemon holding one fractal-cluster
+deployment, then fires a burst of concurrent SINR and ball queries at
+it from asyncio tasks — the workload the batch coalescer exists for.
+Concurrent SINR queries against the same network fold into shared
+kernel calls, and every reply is bitwise what a dedicated call would
+have returned (the coalescing contract, tested in
+``tests/test_service.py``).
+
+Against a long-running daemon you would instead launch
+``python -m repro.service --unix /tmp/repro.sock`` once and point
+:func:`repro.service.connect` at it; everything below past ``connect``
+is unchanged.
+
+Run:  python examples/service_client.py
+"""
+
+import asyncio
+import tempfile
+import time
+
+import numpy as np
+
+from repro.deploy import fractal_clusters
+from repro.service import NetworkPool, ServiceServer, connect
+
+CLIENT_TASKS = 40
+QUERIES_PER_TASK = 5
+TX_PER_QUERY = 6
+
+
+async def main() -> None:
+    # 1. A deployment worth keeping resident: a 3-level cluster
+    #    hierarchy of 4^3 = 64 stations (the paper's low-growth regime).
+    net = fractal_clusters(3, 4, np.random.default_rng(11), dimension=1.5)
+    print(f"deployment: {net.name}, n={net.size}")
+
+    # 2. Serve it over a unix socket from this process.
+    server = ServiceServer(pool=NetworkPool())
+    fingerprint, _ = server.pool.add(net)
+    with tempfile.TemporaryDirectory() as tmp:
+        await server.start_unix(f"{tmp}/repro.sock")
+        client = await connect(f"unix:{tmp}/repro.sock")
+
+        # 3. Concurrent clients: each task issues a few SINR queries
+        #    (random transmitter sets) plus one ball query.
+        rng = np.random.default_rng(12)
+        latencies = []
+
+        async def client_task(task_id: int) -> int:
+            heard_total = 0
+            for _ in range(QUERIES_PER_TASK):
+                tx = rng.choice(net.size, size=TX_PER_QUERY, replace=False)
+                t0 = time.perf_counter()
+                reply = await client.sinr(fingerprint, tx)
+                latencies.append(time.perf_counter() - t0)
+                heard_total += len(reply["receptions"])
+            ball = await client.ball(fingerprint, task_id % net.size, 1.0)
+            return heard_total + len(ball)
+
+        t0 = time.perf_counter()
+        totals = await asyncio.gather(
+            *(client_task(i) for i in range(CLIENT_TASKS))
+        )
+        elapsed = time.perf_counter() - t0
+
+        # 4. The coalescer's view of that burst, from the stats op.
+        stats = await client.stats()
+        await client.aclose()
+        await server.aclose()
+
+    n_queries = CLIENT_TASKS * QUERIES_PER_TASK
+    lat = np.sort(np.asarray(latencies))
+    print(
+        f"{n_queries} SINR + {CLIENT_TASKS} ball queries in "
+        f"{elapsed * 1e3:.0f} ms "
+        f"({(n_queries + CLIENT_TASKS) / elapsed:.0f} req/s)"
+    )
+    print(
+        f"SINR latency: p50 {lat[len(lat) // 2] * 1e3:.1f} ms, "
+        f"p99 {lat[int(len(lat) * 0.99)] * 1e3:.1f} ms"
+    )
+    for key, co in stats.get("coalescers", {}).items():
+        print(
+            f"coalescer {key}: {co['requests']} requests in "
+            f"{co['batches']} kernel calls "
+            f"(largest batch {co['max_batch']})"
+        )
+    print(f"total events observed by clients: {sum(totals)}")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

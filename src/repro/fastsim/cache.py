@@ -28,6 +28,14 @@ simulation code, pass ``--no-cache`` or clear the directory.  Bump
 Storage is one pickle file per key, written atomically (temp file +
 ``os.replace``) so a crashed run never leaves a truncated entry a later
 run would trip over; unreadable entries degrade to misses.
+
+**Shared with the query service.**  A :mod:`repro.service` daemon given
+``--cache-dir`` stores its ``sweep`` results under the same
+:func:`point_key` a CLI grid run computes — the key is derived purely
+from the point's inputs, never from *how* it was executed — so a
+directory populated by a service run replays in CLI runs and vice
+versa.  This sharing is by construction, not by convention, and is
+pinned down in ``tests/test_service.py``.
 """
 
 from __future__ import annotations

@@ -40,6 +40,17 @@ declared as data (:class:`GridSpec`) and executed by :func:`run_grid`:
   ``identity()`` participates in the cache key — so ``jobs=N`` stays
   bitwise equal to ``jobs=1`` for dynamic sweeps and dynamic results
   never collide with static ones.
+* **service execution** — ``run_grid(service="unix:/path.sock")``
+  dispatches pending points as ``sweep`` requests to a resident-network
+  query service (:mod:`repro.service`, DESIGN.md §8) instead of forking
+  a pool: deployments stay hot in the daemon's pool across grid runs
+  (and across interactive queries), rather than being rebuilt per fork.
+  The server rebuilds each network from the same descriptor a fork
+  worker would, and ``run_sweep`` arguments travel verbatim, so service
+  results are bitwise identical to ``jobs=N`` runs; ``post`` hooks run
+  client-side on the parent's network instance.  Cache keys are the
+  ordinary :func:`~repro.fastsim.cache.point_key` on both sides, so a
+  service run and a CLI run replay each other's entries.
 
 DESIGN.md §6.3 records the contracts; ``benchmarks/bench_grid.py`` tracks
 the speedup and asserts parallel/serial result identity.
@@ -154,10 +165,15 @@ class GridOptions:
 
     :param jobs: worker processes (``<= 1`` = run in-process).
     :param cache_dir: result-cache directory (``None`` = caching off).
+    :param service: resident-network service address
+        (``"unix:<path>"`` / ``"tcp:<host>:<port>"``); when set,
+        pending points are dispatched to the daemon's resident pool
+        instead of a fork pool and ``jobs`` is ignored.
     """
 
     jobs: int = 1
     cache_dir: Optional[str] = None
+    service: Optional[str] = None
 
 
 _DEFAULT_OPTIONS = GridOptions()
@@ -429,18 +445,28 @@ def run_grid(
     jobs: Optional[int] = None,
     cache_dir: "Optional[str | os.PathLike]" = None,
     cache: Optional[bool] = None,
+    service: Optional[str] = None,
 ) -> list[GridPointResult]:
     """Execute a :class:`GridSpec`; results in point order.
 
     Parameters default to the process-wide :class:`GridOptions` (see
     :func:`set_default_grid_options`); pass ``cache=False`` to bypass a
     configured cache for one call.  Execution is result-identical across
-    ``jobs`` values and cache states: seeds are fixed at preparation time
-    and cached payloads are the pickled originals.
+    ``jobs`` values, cache states and execution backends (fork pool vs
+    ``service=``): seeds are fixed at preparation time and cached
+    payloads are the pickled originals.
+
+    ``service`` names a running :mod:`repro.service` daemon
+    (``"unix:<path>"`` / ``"tcp:<host>:<port>"``): pending points are
+    sent as concurrent ``sweep`` requests against its resident-network
+    pool — bitwise identical to fork execution, with deployments kept
+    hot across runs (DESIGN.md §8).  Service dispatch drives its own
+    asyncio event loop, so it must not be called from inside one.
     """
     options = get_default_grid_options()
     jobs = options.jobs if jobs is None else jobs
     cache_dir = options.cache_dir if cache_dir is None else cache_dir
+    service = options.service if service is None else service
     use_cache = (cache_dir is not None) if cache is None else (
         cache and cache_dir is not None
     )
@@ -478,7 +504,9 @@ def run_grid(
         if store is not None:
             store.put(prep.key, (sweep, extras))
 
-    if pending:
+    if pending and service is not None:
+        _run_service(prepared, pending, service, on_result=finish)
+    elif pending:
         workers = max(1, min(jobs, len(pending)))
         if workers > 1 and not _fork_available():
             warnings.warn(
@@ -557,3 +585,76 @@ def _run_parallel(
                 shm.close()
             finally:
                 shm.unlink()
+
+
+def _run_service(
+    prepared: Sequence[_Prepared],
+    pending: Sequence[int],
+    address: str,
+    on_result: Callable[[int, SweepResult, dict], None],
+) -> None:
+    """Fan pending points out to a :mod:`repro.service` daemon.
+
+    Every point becomes one pipelined ``sweep`` request over a single
+    connection; all requests are issued concurrently so the daemon can
+    interleave them against its resident-network pool.  Each request
+    carries both the deployment's fingerprint (a pool hit skips the
+    rebuild entirely — the cross-run win) and its full descriptor (so
+    an evicted or never-seen deployment is rebuilt server-side,
+    bitwise-identically to the fork worker's reconstruction).
+
+    Post hooks run *client*-side, on the locally built network — hook
+    closures are not picklable and need not be.  Hooked points are
+    therefore dispatched *without* a cache key: a daemon can only store
+    ``(sweep, {})``, and since ``post_name`` is part of the key, a
+    server-side entry with empty extras under a hooked key would replay
+    as the point's real result in later CLI runs.  Hookless points ship
+    their key (server-side caching is exact for them); hooked points
+    still land in the *client's* cache via ``on_result``, extras and
+    all.
+
+    ``on_result`` fires per completed point in completion order, same
+    contract as :func:`_run_parallel`.
+    """
+    import asyncio
+
+    from repro.service.client import connect
+
+    def _descriptor(net: Network) -> dict:
+        return {
+            "coords": np.asarray(net.coords),
+            "params": net.params,
+            "metric": net.metric,
+            "channel": net.channel,
+            "name": net.name,
+            "backend": net._backend_request,
+            "cutoff": net._cutoff,
+            "kernel": net._kernel_request,
+        }
+
+    async def _one(client, i: int) -> None:
+        prep = prepared[i]
+        net = prep.network
+        reply = await client.sweep(
+            prep.point.kind,
+            prep.point.n_replications,
+            prep.seed,
+            net=net.fingerprint(),
+            descriptor=_descriptor(net),
+            constants=prep.point.constants,
+            kwargs=prep.kwargs,
+            use_batch=prep.point.use_batch,
+            key=(prep.key or None) if prep.point.post is None else None,
+        )
+        sweep = reply["sweep"]
+        extras = prep.point.post(net, sweep) if prep.point.post else {}
+        on_result(i, sweep, extras)
+
+    async def _dispatch() -> None:
+        client = await connect(address)
+        try:
+            await asyncio.gather(*(_one(client, i) for i in pending))
+        finally:
+            await client.aclose()
+
+    asyncio.run(_dispatch())

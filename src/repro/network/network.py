@@ -332,6 +332,36 @@ class Network:
         """Communication-graph neighbours of station ``v``."""
         return sorted(self.graph.neighbors(v))
 
+    def resident_bytes(self) -> int:
+        """Estimated resident memory of this network's gain structure.
+
+        The number the service's :class:`~repro.service.pool.NetworkPool`
+        budgets against (DESIGN.md §8): what holding this network hot
+        costs — or will cost once serving forces its lazy arrays.
+        Materialized arrays (coordinates, distance/gain matrices, the
+        sparse backend's CSR + cell index) are counted at their actual
+        size; in dense mode the ``(n, n)`` distance and gain matrices
+        are counted even while still lazy, because the first query
+        forces them.  A sparse backend not yet built contributes
+        nothing — the service builds it eagerly at admission, so pool
+        accounting sees actuals.
+        """
+        total = self._coords.nbytes
+        if self._dist is not None:
+            total += self._dist.nbytes
+        if self._gain is not None:
+            total += self._gain.nbytes
+        if self.backend_kind == "sparse":
+            if self._backend_obj is not None:
+                total += self._backend_obj.nbytes()
+        else:
+            projected = 8 * self.size * self.size
+            if self._dist is None:
+                total += projected
+            if self._gain is None:
+                total += projected
+        return total
+
     def fingerprint(self) -> str:
         """Content hash of everything that determines simulation results.
 

@@ -1,0 +1,130 @@
+"""The resident-network pool: LRU of hot ``Network`` objects.
+
+A network is expensive to admit (the n=1M sparse build measures 135 s)
+and cheap to serve once resident, so the pool's job is simple: keep as
+many hot networks as the memory budget allows, evict the least recently
+*queried* one when a new admission would burst it.  Budgeting uses
+:meth:`repro.network.network.Network.resident_bytes` — actual
+materialized footprint plus the lazy arrays serving will force — against
+a byte budget derived from ``/proc/meminfo`` by default
+(:func:`repro.sysmem.available_memory_bytes`).
+
+Networks are keyed by :meth:`~repro.network.network.Network.fingerprint`
+— the same content hash the result cache keys on — so two clients
+building the same deployment share one resident instance, and a
+``build`` of something already resident is a refresh, not a rebuild.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.network.network import Network
+from repro.sysmem import available_memory_bytes
+
+#: Fraction of currently-available system memory the default budget
+#: claims.  Deliberately conservative: the service shares the host with
+#: the kernels' workspaces and the clients themselves.
+DEFAULT_BUDGET_FRACTION = 0.25
+
+
+class NetworkPool:
+    """An LRU pool of resident networks bounded by a peak-RSS budget.
+
+    :param budget_bytes: total :meth:`Network.resident_bytes` the pool
+        may hold.  ``None`` derives it from available system memory at
+        construction time (``DEFAULT_BUDGET_FRACTION`` of it).
+    :param max_networks: optional additional cap on the entry count.
+    """
+
+    def __init__(
+        self,
+        budget_bytes: Optional[int] = None,
+        max_networks: Optional[int] = None,
+    ):
+        if budget_bytes is None:
+            budget_bytes = int(
+                DEFAULT_BUDGET_FRACTION * available_memory_bytes()
+            )
+        self.budget_bytes = int(budget_bytes)
+        self.max_networks = max_networks
+        #: fingerprint -> (network, resident_bytes); insertion order is
+        #: recency order (oldest first), maintained by the pop/re-insert
+        #: refresh in :meth:`get`.
+        self._entries: dict[str, tuple[Network, int]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.admitted = 0
+        self.evicted = 0
+
+    def get(self, fingerprint: str) -> Optional[Network]:
+        """The resident network under ``fingerprint``, refreshing its
+        recency; ``None`` when not resident."""
+        entry = self._entries.get(fingerprint)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries[fingerprint] = self._entries.pop(fingerprint)
+        self.hits += 1
+        return entry[0]
+
+    def add(self, network: Network) -> tuple[str, list[str]]:
+        """Admit ``network`` (or refresh it if already resident).
+
+        Eviction happens *after* admission: least-recently-used entries
+        go until the pool fits the byte budget (and ``max_networks``)
+        again, never evicting the entry just admitted — a single network
+        larger than the whole budget is served resident-alone rather
+        than rejected, matching the "one huge deployment" use case.
+
+        :returns: ``(fingerprint, evicted fingerprints)``.
+        """
+        fingerprint = network.fingerprint()
+        if fingerprint in self._entries:
+            self._entries.pop(fingerprint)
+        else:
+            self.admitted += 1
+        self._entries[fingerprint] = (network, network.resident_bytes())
+        evicted: list[str] = []
+        while self._over_budget() and len(self._entries) > 1:
+            victim = next(iter(self._entries))
+            if victim == fingerprint:  # pragma: no cover - newest is last
+                break
+            self._entries.pop(victim)
+            self.evicted += 1
+            evicted.append(victim)
+        return fingerprint, evicted
+
+    def _over_budget(self) -> bool:
+        if (
+            self.max_networks is not None
+            and len(self._entries) > self.max_networks
+        ):
+            return True
+        return self.resident_bytes() > self.budget_bytes
+
+    def resident_bytes(self) -> int:
+        """Total admission-time resident size of the pooled networks."""
+        return sum(size for _, size in self._entries.values())
+
+    def fingerprints(self) -> list[str]:
+        """Resident fingerprints, least recently used first."""
+        return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._entries
+
+    def stats(self) -> dict:
+        """Counters and occupancy for the ``stats`` op."""
+        return {
+            "networks": len(self._entries),
+            "resident_bytes": self.resident_bytes(),
+            "budget_bytes": self.budget_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "admitted": self.admitted,
+            "evicted": self.evicted,
+        }

@@ -1,0 +1,682 @@
+"""The asyncio daemon serving resident-network queries.
+
+One :class:`ServiceServer` owns a :class:`~repro.service.pool.NetworkPool`
+of hot networks, a per-(network, noise, beta) family of
+:class:`~repro.service.coalescer.BatchCoalescer` instances, and
+optionally the shared on-disk :class:`~repro.fastsim.cache.ResultCache`.
+It listens on a unix socket and/or loopback TCP, speaking the
+newline-JSON protocol of :mod:`repro.service.protocol`.
+
+Requests on one connection are handled concurrently (one task per
+frame), so a single pipelining client coalesces against itself just
+like a thousand separate clients do; responses carry the request ``id``
+and go out in completion order.
+
+Supported ops — see :meth:`ServiceServer.handlers`:
+
+``build``
+    Deploy (or look up) a network from a JSON spec; admit it to the
+    pool; reply with its fingerprint — the handle every other op takes.
+``sinr``
+    Resolve receptions for one transmitter set through the coalescer.
+``ball`` / ``graph`` / ``is_connected``
+    Geometry and connectivity queries against the resident structures.
+``advance``
+    One mobility tick: :meth:`Network.advance` (incremental CSR
+    patching where applicable), successor admitted to the pool.
+``sweep``
+    Run a full protocol sweep on a resident network (pickle payload;
+    the ``run_grid(service=...)`` execution path, DESIGN.md §8).
+``stats`` / ``ping`` / ``shutdown``
+    Introspection and lifecycle.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import inspect
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.fastsim.cache import ResultCache
+from repro.fastsim.sweep import run_sweep
+from repro.network.network import Network
+from repro.service.coalescer import BatchCoalescer
+from repro.service.pool import NetworkPool
+from repro.service.protocol import (
+    ServiceError,
+    encode_frame,
+    error_response,
+    pack_pickle,
+    read_frame,
+    unpack_pickle,
+)
+from repro.sinr.params import SINRParameters
+from repro.sinr.reception import (
+    NO_SENDER,
+    resolve_reception_batch,
+    resolve_reception_many,
+)
+from repro.sysmem import peak_rss_bytes
+
+#: Deployment families the ``build`` op accepts, resolved lazily so the
+#: module import stays light.  Every factory takes ``rng=`` plus its own
+#: keyword arguments (``docs/api.md`` lists them).
+BUILD_FAMILIES = (
+    "uniform_square",
+    "uniform_disk",
+    "uniform_cube",
+    "fractal_clusters",
+    "corridor",
+    "grid",
+    "uniform_chain",
+)
+
+#: Stream buffer limit for incoming frames (must exceed the largest
+#: request line; displacement arrays for big deployments are the driver).
+_STREAM_LIMIT = 256 * 1024 * 1024
+
+
+def build_network(spec: dict) -> Network:
+    """Deterministically build a :class:`Network` from a ``build`` spec.
+
+    Two spec shapes:
+
+    * ``{"coords": [[x, y], ...]}`` — explicit coordinates;
+    * ``{"family": <name>, "seed": <int>, "args": {...}}`` — a seeded
+      deployment factory from :data:`BUILD_FAMILIES` (``args`` passed
+      through, e.g. ``{"n": 20000, "side": 40.0}``).
+
+    Shared optional keys: ``params`` (kwargs of
+    :meth:`SINRParameters.default`), ``channel`` (``{"kind":
+    "uniform" | "log_normal" | "dual_slope", ...kwargs}``), ``backend``,
+    ``cutoff``, ``kernel``, ``name``.  The same spec always builds the
+    same network — the fingerprint is the client's stable handle.
+    """
+    from repro import deploy
+    from repro.sinr.channel import (
+        DualSlope,
+        LogNormalShadowing,
+        UniformPower,
+    )
+
+    params = None
+    if spec.get("params"):
+        params = SINRParameters.default(**spec["params"])
+    channel = None
+    channel_spec = spec.get("channel")
+    if channel_spec:
+        kind = channel_spec.get("kind", "uniform")
+        kwargs = {k: v for k, v in channel_spec.items() if k != "kind"}
+        makers = {
+            "uniform": UniformPower,
+            "log_normal": LogNormalShadowing,
+            "dual_slope": DualSlope,
+        }
+        if kind not in makers:
+            raise ServiceError(
+                f"unknown channel kind {kind!r}; expected one of "
+                f"{sorted(makers)}"
+            )
+        channel = makers[kind](**kwargs)
+
+    shared = {
+        key: spec[key]
+        for key in ("backend", "cutoff", "kernel")
+        if key in spec and spec[key] is not None
+    }
+    if "coords" in spec:
+        return Network(
+            np.asarray(spec["coords"], dtype=float),
+            params=params,
+            channel=channel,
+            name=spec.get("name", "service-coords"),
+            **shared,
+        )
+    family = spec.get("family")
+    if family not in BUILD_FAMILIES:
+        raise ServiceError(
+            f"unknown deployment family {family!r}; expected one of "
+            f"{BUILD_FAMILIES} (or explicit 'coords')"
+        )
+    factory = getattr(deploy, family)
+    factory_params = inspect.signature(factory).parameters
+    args = dict(spec.get("args", {}))
+    if "rng" in factory_params:
+        # Deterministic families (grid, uniform_chain) take no rng.
+        args["rng"] = np.random.default_rng(spec.get("seed", 0))
+    if "name" in spec and "name" in factory_params:
+        args.setdefault("name", spec["name"])
+    net = factory(params=params, **args)
+    if channel is not None:
+        net = net.with_channel(channel)
+    if shared:
+        net = Network(
+            np.array(net.coords), params=net.params, metric=net.metric,
+            name=net.name, channel=net.channel, **shared,
+        )
+    return net
+
+
+class ServiceServer:
+    """The resident-network daemon (one instance per process).
+
+    :param pool: resident-network pool; a default-budget
+        :class:`NetworkPool` when omitted.
+    :param cache_dir: result-cache directory for ``sweep`` requests
+        (``None`` = no server-side caching; ``run_grid`` clients may
+        still cache on their side — same keys either way).
+    :param window: coalescing window in seconds (see
+        :class:`BatchCoalescer`).
+    :param max_batch: largest coalesced batch per kernel call.
+    :param coalesce: ``False`` serves every query as its own ``B = 1``
+        masked call of the classic batched resolver — the legacy
+        pre-coalescer serving model the load benchmark measures
+        against.  Decisions agree with coalesced serving whenever the
+        SINR margin exceeds far-field rounding (sub-band, tested), and
+        bit for bit whenever the far set is empty.
+    """
+
+    def __init__(
+        self,
+        *,
+        pool: Optional[NetworkPool] = None,
+        cache_dir: Optional[str] = None,
+        window: float = 0.002,
+        max_batch: int = 128,
+        coalesce: bool = True,
+    ):
+        self.pool = pool if pool is not None else NetworkPool()
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        self.window = window
+        self.max_batch = max_batch
+        self.coalesce = coalesce
+        # One worker: kernel calls are serialized, so measured
+        # throughput reflects batch efficiency rather than core-count
+        # contention, and resident-memory pressure stays single-fold.
+        self._kernel_executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="service-kernel"
+        )
+        self._coalescers: dict[tuple, BatchCoalescer] = {}
+        self._servers: list[asyncio.AbstractServer] = []
+        self._shutdown = asyncio.Event()
+        self._started = time.time()
+        self.requests_served = 0
+        #: (host, port) of the TCP listener once bound (port 0 resolves).
+        self.tcp_address: Optional[tuple[str, int]] = None
+        #: Path of the unix listener once bound.
+        self.unix_path: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start_unix(self, path: str, backlog: int = 2048) -> None:
+        """Listen on a unix-domain socket at ``path``.
+
+        ``backlog`` defaults high enough that a thousand simultaneous
+        connection attempts (the soak scenario) don't get refused while
+        the single-threaded loop works through the accept queue.
+        """
+        server = await asyncio.start_unix_server(
+            self._handle_client, path=path, limit=_STREAM_LIMIT,
+            backlog=backlog,
+        )
+        self.unix_path = path
+        self._servers.append(server)
+
+    async def start_tcp(
+        self, host: str = "127.0.0.1", port: int = 0, backlog: int = 2048
+    ) -> None:
+        """Listen on TCP (loopback by default; ``port=0`` picks a free
+        port, readable from :attr:`tcp_address`)."""
+        server = await asyncio.start_server(
+            self._handle_client, host=host, port=port,
+            limit=_STREAM_LIMIT, backlog=backlog,
+        )
+        sock = server.sockets[0]
+        self.tcp_address = sock.getsockname()[:2]
+        self._servers.append(server)
+
+    async def serve_forever(self) -> None:
+        """Serve until :meth:`shutdown` (or the ``shutdown`` op)."""
+        await self._shutdown.wait()
+        await self.aclose()
+
+    def shutdown(self) -> None:
+        """Request shutdown; :meth:`serve_forever` returns soon after."""
+        self._shutdown.set()
+
+    async def aclose(self) -> None:
+        """Close all listeners (idempotent)."""
+        for server in self._servers:
+            server.close()
+        for server in self._servers:
+            try:
+                await server.wait_closed()
+            except Exception:  # pragma: no cover - platform quirks
+                pass
+        self._servers.clear()
+        self._kernel_executor.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_client(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """One connection: read frames, answer each in its own task.
+
+        A dropped connection cancels the connection's in-flight request
+        tasks, which cancels their coalescer futures — the mid-batch
+        cancellation path ``tests/test_service.py`` exercises; other
+        clients' requests in the same batch are unaffected.
+        """
+        tasks: set[asyncio.Task] = set()
+        write_lock = asyncio.Lock()
+
+        async def respond(message: dict) -> None:
+            async with write_lock:
+                writer.write(encode_frame(message))
+                await writer.drain()
+
+        async def serve_one(request: dict) -> None:
+            response = await self._dispatch(request)
+            await respond(response)
+
+        try:
+            while True:
+                try:
+                    request = await read_frame(reader)
+                except ServiceError as exc:
+                    # Framing is gone; answer best-effort and drop.
+                    try:
+                        await respond(error_response(None, exc))
+                    except (ConnectionError, RuntimeError):
+                        pass
+                    break
+                if request is None:
+                    break
+                task = asyncio.ensure_future(serve_one(request))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Loop shutdown cancels connection tasks mid-read; treat it
+            # as a disconnect so teardown is clean, not an error dump.
+            pass
+        finally:
+            for task in tasks:
+                task.cancel()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+            except asyncio.CancelledError:
+                # Loop shutdown can cancel the handler while it flushes
+                # the close; the transport is down either way, and a
+                # task that ends cancelled here only feeds asyncio's
+                # "exception in callback" log, so end quietly instead.
+                task = asyncio.current_task()
+                if task is not None:
+                    task.uncancel()
+
+    async def _dispatch(self, request: dict) -> dict:
+        """Route one request to its handler; never raises."""
+        request_id = request.get("id")
+        op = request.get("op")
+        handler = self.handlers().get(op)
+        if handler is None:
+            return error_response(
+                request_id,
+                ServiceError(
+                    f"unknown op {op!r}; expected one of "
+                    f"{sorted(self.handlers())}"
+                ),
+            )
+        try:
+            payload = await handler(request)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - every failure must
+            # become an error *reply*: an exception that escaped here
+            # would kill the per-request task and leave the client
+            # awaiting a response that never comes.
+            return error_response(request_id, exc)
+        self.requests_served += 1
+        return {"id": request_id, "ok": True, **payload}
+
+    def handlers(self) -> dict[str, Callable]:
+        """Op-name -> coroutine handler map."""
+        return {
+            "build": self._op_build,
+            "sinr": self._op_sinr,
+            "ball": self._op_ball,
+            "graph": self._op_graph,
+            "is_connected": self._op_is_connected,
+            "advance": self._op_advance,
+            "sweep": self._op_sweep,
+            "stats": self._op_stats,
+            "ping": self._op_ping,
+            "shutdown": self._op_shutdown,
+        }
+
+    # ------------------------------------------------------------------
+    # op handlers
+    # ------------------------------------------------------------------
+    def _network(self, request: dict) -> Network:
+        """The resident network a request addresses."""
+        fingerprint = request.get("net")
+        if not isinstance(fingerprint, str):
+            raise ServiceError("request is missing the 'net' fingerprint")
+        net = self.pool.get(fingerprint)
+        if net is None:
+            raise ServiceError(
+                f"no resident network {fingerprint[:16]}...; "
+                "issue a 'build' first (it may have been evicted)"
+            )
+        return net
+
+    async def _op_build(self, request: dict) -> dict:
+        """Build/admit a network from ``request['spec']``."""
+        spec = request.get("spec")
+        if not isinstance(spec, dict):
+            raise ServiceError("'build' needs a 'spec' object")
+        known = spec.get("fingerprint")
+        if isinstance(known, str):
+            net = self.pool.get(known)
+            if net is not None:
+                return self._build_reply(known, net, [])
+        net = await asyncio.to_thread(self._build_resident, spec)
+        fingerprint, evicted = self.pool.add(net)
+        return self._build_reply(fingerprint, net, evicted)
+
+    def _build_resident(self, spec: dict) -> Network:
+        """Build the network and force its serving structures hot."""
+        net = build_network(spec)
+        net.gain_operator  # force the backend / gain matrix build
+        return net
+
+    def _build_reply(
+        self, fingerprint: str, net: Network, evicted: list[str]
+    ) -> dict:
+        return {
+            "net": fingerprint,
+            "n": net.size,
+            "backend": net.backend_kind,
+            "kernel": net.kernel_kind,
+            "resident_bytes": net.resident_bytes(),
+            "evicted": evicted,
+        }
+
+    def _coalescer_for(
+        self, fingerprint: str, net: Network, noise: float, beta: float
+    ) -> BatchCoalescer:
+        """The coalescer serving (network, noise, beta) — only queries
+        sharing all three may ride one kernel call."""
+        key = (fingerprint, float(noise), float(beta))
+        coalescer = self._coalescers.get(key)
+        if coalescer is None:
+            fold = functools.partial(
+                _fold_sinr if self.coalesce else _fold_sinr_legacy,
+                net.gain_operator, float(noise), float(beta),
+            )
+            coalescer = BatchCoalescer(
+                fold,
+                window=self.window,
+                max_batch=self.max_batch,
+                enabled=self.coalesce,
+                executor=self._kernel_executor,
+            )
+            self._coalescers[key] = coalescer
+        return coalescer
+
+    async def _op_sinr(self, request: dict) -> dict:
+        """Resolve receptions for one transmitter set (coalesced)."""
+        net = self._network(request)
+        transmitters = np.asarray(
+            request.get("transmitters", []), dtype=np.intp
+        )
+        if transmitters.size and (
+            transmitters.min() < 0 or transmitters.max() >= net.size
+        ):
+            raise ServiceError(
+                f"transmitter indices must be in [0, {net.size})"
+            )
+        noise = request.get("noise", net.params.noise)
+        beta = request.get("beta", net.params.beta)
+        coalescer = self._coalescer_for(
+            request["net"], net, noise, beta
+        )
+        receivers, senders = await coalescer.submit(transmitters)
+        if request.get("full"):
+            heard = np.full(net.size, NO_SENDER, dtype=np.intp)
+            heard[receivers] = senders
+            return {"heard": heard.tolist()}
+        # column_stack + tolist converts to native ints in C — replies
+        # routinely carry hundreds of pairs and this runs per request.
+        pairs = np.column_stack((receivers, senders))
+        return {"receptions": pairs.tolist(), "n": net.size}
+
+    async def _op_ball(self, request: dict) -> dict:
+        """Stations within ``radius`` of ``center``."""
+        net = self._network(request)
+        center = int(request["center"])
+        radius = float(request["radius"])
+        if not 0 <= center < net.size:
+            raise ServiceError(f"center must be in [0, {net.size})")
+        members = await asyncio.to_thread(net.ball, center, radius)
+        return {"stations": np.asarray(members).tolist()}
+
+    async def _op_graph(self, request: dict) -> dict:
+        """Communication-graph summary (edge list unless ``count_only``)."""
+        net = self._network(request)
+
+        def build() -> dict:
+            graph = net.graph
+            payload = {
+                "n": net.size,
+                "num_edges": graph.number_of_edges(),
+                "max_degree": net.max_degree,
+            }
+            if not request.get("count_only"):
+                payload["edges"] = [
+                    [int(u), int(v)] for u, v in graph.edges()
+                ]
+            return payload
+
+        return await asyncio.to_thread(build)
+
+    async def _op_is_connected(self, request: dict) -> dict:
+        """Connectivity of the communication graph."""
+        net = self._network(request)
+        connected = await asyncio.to_thread(lambda: net.is_connected)
+        return {"connected": bool(connected)}
+
+    async def _op_advance(self, request: dict) -> dict:
+        """One mobility tick; the successor becomes resident."""
+        net = self._network(request)
+        disp = np.asarray(request["displacements"], dtype=float)
+        successor = await asyncio.to_thread(net.advance, disp)
+        if successor is net:
+            return {
+                "net": request["net"],
+                "advance_mode": "unmoved",
+                "n": net.size,
+            }
+        # Force the successor's serving structures before admission so
+        # pool accounting sees actuals (mirrors _build_resident).
+        await asyncio.to_thread(lambda: successor.gain_operator)
+        fingerprint, evicted = self.pool.add(successor)
+        return {
+            "net": fingerprint,
+            "advance_mode": successor.advance_mode,
+            "n": successor.size,
+            "evicted": evicted,
+        }
+
+    async def _op_sweep(self, request: dict) -> dict:
+        """Run a protocol sweep on a resident network (pickle payload).
+
+        The payload (see :meth:`repro.service.client.ServiceClient.sweep`)
+        carries either a resident fingerprint or a full network
+        descriptor to build on miss, plus the ``run_sweep`` arguments
+        and an optional precomputed cache key.  With a server-side
+        cache configured, hits replay without touching the kernels —
+        and because the key is the ordinary
+        :func:`repro.fastsim.cache.point_key`, entries are shared with
+        CLI grid runs in both directions.
+        """
+        payload = unpack_pickle(request["payload"])
+        fingerprint = payload.get("net")
+        net = self.pool.get(fingerprint) if fingerprint else None
+        if net is None:
+            descriptor = payload.get("descriptor")
+            if descriptor is None:
+                raise ServiceError(
+                    "sweep payload has neither a resident 'net' nor a "
+                    "'descriptor' to build from"
+                )
+            net = await asyncio.to_thread(
+                self._descriptor_network, descriptor
+            )
+            fingerprint, _ = self.pool.add(net)
+        key = payload.get("key")
+        if key and self.cache is not None:
+            hit = self.cache.get(key)
+            if hit is not None:
+                sweep, _extras = hit
+                return {
+                    "payload": pack_pickle(sweep),
+                    "net": fingerprint,
+                    "cached": True,
+                }
+        sweep = await asyncio.to_thread(
+            run_sweep,
+            payload["kind"],
+            net,
+            payload["n_replications"],
+            payload["seed"],
+            payload.get("constants"),
+            use_batch=payload.get("use_batch", True),
+            **payload.get("kwargs", {}),
+        )
+        if key and self.cache is not None:
+            # Extras (post hooks) run client-side in service mode, so the
+            # server can only store an empty extras dict.  That is exact
+            # for hookless points, and the grid client only ships keys
+            # for those (`_run_service` withholds the key when a post
+            # hook exists — its `post_name` is part of the key, so an
+            # empty-extras entry under it would replay as the real
+            # result).
+            self.cache.put(key, (sweep, {}))
+        return {
+            "payload": pack_pickle(sweep),
+            "net": fingerprint,
+            "cached": False,
+        }
+
+    def _descriptor_network(self, descriptor: dict) -> Network:
+        """Rebuild a network from a grid client's pickled descriptor.
+
+        Mirrors the fork worker's reconstruction
+        (:func:`repro.fastsim.grid._attach_network`): same coordinates,
+        params, metric and channel produce a bitwise-identical gain
+        structure, which is what makes ``run_grid(service=...)`` results
+        bitwise equal to fork-pool runs.
+        """
+        net = Network(
+            descriptor["coords"],
+            params=descriptor["params"],
+            metric=descriptor["metric"],
+            name=descriptor.get("name", "service-sweep"),
+            channel=descriptor["channel"],
+            backend=descriptor.get("backend", "auto"),
+            cutoff=descriptor.get("cutoff"),
+            kernel=descriptor.get("kernel", "auto"),
+        )
+        net.gain_operator
+        return net
+
+    async def _op_stats(self, request: dict) -> dict:
+        """Pool, coalescer, cache and process statistics."""
+        coalescers = {}
+        for (fingerprint, noise, beta), co in self._coalescers.items():
+            label = f"{fingerprint[:12]}:noise={noise}:beta={beta}"
+            coalescers[label] = co.stats.as_dict()
+        payload = {
+            "uptime_s": time.time() - self._started,
+            "requests_served": self.requests_served,
+            "peak_rss_bytes": peak_rss_bytes(),
+            "pool": self.pool.stats(),
+            "coalescers": coalescers,
+            "coalescing": self.coalesce,
+            "window_s": self.window,
+            "max_batch": self.max_batch,
+        }
+        if self.cache is not None:
+            payload["cache"] = {
+                "root": str(self.cache.root),
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+            }
+        return payload
+
+    async def _op_ping(self, request: dict) -> dict:
+        """Liveness probe."""
+        return {"pong": True}
+
+    async def _op_shutdown(self, request: dict) -> dict:
+        """Acknowledge, then stop the daemon."""
+        asyncio.get_running_loop().call_soon(self.shutdown)
+        return {"stopping": True}
+
+
+def _fold_sinr(gain_operator, noise: float, beta: float, sets) -> list:
+    """The coalescer's fold: one batched-resolver call for ``sets``.
+
+    Returns one ``(receivers, senders)`` pair per set (the resolver's
+    ``compact`` projection) — replies need exactly those pairs, and the
+    compact path never materializes a ``(B, n)`` block for the burst.
+
+    Module-level (not a closure) so its identity is stable and the
+    kernel work happens on the executor thread the coalescer runs it
+    on; thread-safety of the resolver caches is guaranteed by
+    :mod:`repro.sinr.reception` (PR 7's lock satellite).
+    """
+    return resolve_reception_many(
+        gain_operator, sets, noise, beta, compact=True
+    )
+
+
+def _fold_sinr_legacy(
+    gain_operator, noise: float, beta: float, sets
+) -> list:
+    """Per-request ``B = 1`` masked resolves — the uncoalesced baseline.
+
+    What serving looked like before the coalescer existed: each query
+    builds its own ``(1, n)`` transmitter mask and pays one full
+    batched-resolver call — per-request cell/far-field setup included.
+    ``benchmarks/bench_service.py`` runs a ``coalesce=False`` server on
+    this fold to measure the coalescing speedup floor against it.
+    Results use the same ``(receivers, senders)`` reply shape as
+    :func:`_fold_sinr` so reply building is mode-independent.
+    """
+    shape = getattr(gain_operator, "shape", None)
+    n = shape[0] if shape is not None else gain_operator.n
+    out = []
+    for transmitters in sets:
+        mask = np.zeros((1, n), dtype=bool)
+        mask[0, np.asarray(transmitters, dtype=np.intp)] = True
+        row = resolve_reception_batch(gain_operator, mask, noise, beta)[0]
+        receivers = np.flatnonzero(row != NO_SENDER)
+        out.append((receivers, row[receivers]))
+    return out

@@ -27,7 +27,12 @@ from repro.sinr.channel import (
     default_channel,
     rectangle,
 )
-from repro.sinr.reception import resolve_reception, sinr_values, NO_SENDER
+from repro.sinr.reception import (
+    NO_SENDER,
+    resolve_reception,
+    resolve_reception_many,
+    sinr_values,
+)
 from repro.sinr.sparse import (
     SparseGainBackend,
     certified_cutoff,
@@ -53,6 +58,7 @@ __all__ = [
     "default_channel",
     "rectangle",
     "resolve_reception",
+    "resolve_reception_many",
     "sinr_values",
     "NO_SENDER",
 ]

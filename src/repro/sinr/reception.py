@@ -12,8 +12,9 @@ vectorized pass.
 
 from __future__ import annotations
 
+import threading
 import weakref
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -21,6 +22,18 @@ from repro import kernels as _kernels
 
 #: Sentinel in the sender array for "heard nothing this round".
 NO_SENDER: int = -1
+
+#: Guards the module-level LRU caches (``_ARANGE_CACHE``,
+#: ``_RANK_CACHE``).  The service coalescer drives the resolvers from
+#: multiple in-flight requests on executor threads, so the
+#: refresh-recency ``pop``/re-insert dance and the eviction loops must
+#: be atomic; the (idempotent) array computations happen outside the
+#: lock, so contention is a dictionary operation, not a sort.  Reentrant
+#: because the ``_RANK_CACHE`` weakref finalizers also take it, and a
+#: garbage-collection pass can run them on a thread that already holds
+#: the lock (e.g. while a dict resize inside the locked region
+#: allocates).
+_CACHE_LOCK = threading.RLock()
 
 #: Read-only per-``n`` listener index arrays.  Both resolvers index the
 #: listener axis with ``arange(n)`` every round; caching the array turns
@@ -31,18 +44,20 @@ _ARANGE_CACHE_LIMIT = 16
 
 
 def _listener_index(n: int) -> np.ndarray:
-    arr = _ARANGE_CACHE.get(n)
-    if arr is None:
+    with _CACHE_LOCK:
+        arr = _ARANGE_CACHE.get(n)
+        if arr is not None:
+            _ARANGE_CACHE[n] = _ARANGE_CACHE.pop(n)  # refresh recency
+            return arr
+    arr = np.arange(n)
+    arr.setflags(write=False)
+    with _CACHE_LOCK:
         while len(_ARANGE_CACHE) >= _ARANGE_CACHE_LIMIT:
             # Evict one entry (insertion order ~ oldest) instead of
             # wiping hot sizes wholesale — same discipline as
             # _RANK_CACHE below.
             _ARANGE_CACHE.pop(next(iter(_ARANGE_CACHE)))
-        arr = np.arange(n)
-        arr.setflags(write=False)
         _ARANGE_CACHE[n] = arr
-    else:
-        _ARANGE_CACHE[n] = _ARANGE_CACHE.pop(n)  # refresh recency
     return arr
 
 
@@ -157,53 +172,71 @@ def _listener_ranking(gain: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         once per `Network` and reused for every round).
     """
     key = id(gain)
-    entry = _RANK_CACHE.get(key)
-    if entry is not None and entry[0]() is gain:
-        # Refresh recency: a hit moves the entry to the newest slot so the
-        # bound below evicts the matrices that stopped being used, never a
-        # matrix in active round-loop service.
-        _RANK_CACHE[key] = _RANK_CACHE.pop(key)
-        return entry[1], entry[2]
+    with _CACHE_LOCK:
+        entry = _RANK_CACHE.get(key)
+        if entry is not None and entry[0]() is gain:
+            # Refresh recency: a hit moves the entry to the newest slot so
+            # the bound below evicts the matrices that stopped being used,
+            # never a matrix in active round-loop service.
+            _RANK_CACHE[key] = _RANK_CACHE.pop(key)
+            return entry[1], entry[2]
+        _RANK_CACHE.pop(key, None)  # id reuse after a matrix was collected
     n = gain.shape[0]
-    _RANK_CACHE.pop(key, None)  # id reuse after a matrix was collected
     # Stable sort: equal gains rank by ascending sender index, matching
     # argmax's first-occurrence tie-break.  Positions are kept in the
     # narrowest dtype that fits n plus the sentinel — the ``(B, n, k)``
-    # position array is the round loop's main memory traffic.
+    # position array is the round loop's main memory traffic.  Computed
+    # outside the lock: two threads racing on the same matrix both build
+    # the identical ranking and the last insert wins, which is cheaper
+    # than serializing every first-touch sort behind one lock.
     dtype = np.int16 if n < _SENTINEL_16 else np.int32
     rank = np.argsort(-gain, axis=0, kind="stable").T.astype(dtype)
     position = np.empty_like(rank)
     position[_listener_index(n)[:, None], rank] = np.arange(n, dtype=dtype)
-    while len(_RANK_CACHE) >= _RANK_CACHE_LIMIT:
-        # Bound the cache by evicting the least recently used entry (the
-        # insertion-ordered dict front, given the hit refresh above).  The
-        # weakref finalizers below prune dead matrices eagerly; this bound
-        # only triggers when >= 32 distinct matrices are alive at once,
-        # and must not wipe rankings still in service (evicting an entry
-        # drops its weakref, so the dead finalizer is a no-op, not a leak).
-        _RANK_CACHE.pop(next(iter(_RANK_CACHE)))
-    _RANK_CACHE[key] = (
-        weakref.ref(gain, lambda _ref, _key=key: _RANK_CACHE.pop(_key, None)),
-        rank,
-        position,
-    )
+    with _CACHE_LOCK:
+        while len(_RANK_CACHE) >= _RANK_CACHE_LIMIT:
+            # Bound the cache by evicting the least recently used entry
+            # (the insertion-ordered dict front, given the hit refresh
+            # above).  The weakref finalizers below prune dead matrices
+            # eagerly; this bound only triggers when >= 32 distinct
+            # matrices are alive at once, and must not wipe rankings still
+            # in service (evicting an entry drops its weakref, so the dead
+            # finalizer is a no-op, not a leak).
+            _RANK_CACHE.pop(next(iter(_RANK_CACHE)))
+        _RANK_CACHE[key] = (
+            weakref.ref(
+                gain, lambda _ref, _key=key: _pop_rank_entry(_key)
+            ),
+            rank,
+            position,
+        )
     return rank, position
+
+
+def _pop_rank_entry(key: int) -> None:
+    """Weakref finalizer target: drop a dead matrix's ranking entry."""
+    with _CACHE_LOCK:
+        _RANK_CACHE.pop(key, None)
 
 
 #: Grow-only scratch buffer backing the float view of ``tx_sub`` in
 #: :func:`_strongest_transmitters` — one allocation amortized over every
 #: round instead of a fresh ``(B, |cols|)`` array per call.  Reuse is safe
 #: because the buffer is consumed within the call (``einsum`` reads it and
-#: writes a fresh output) and the resolver is not reentrant.
-_TX_FLOAT_WS = np.empty(0)
+#: writes a fresh output) and the buffer is *per thread*: the service
+#: coalescer runs resolver calls on executor threads, so a process-global
+#: buffer would be scribbled over by concurrent calls.
+_TX_FLOAT_WS = threading.local()
 
 
 def _tx_float_workspace(tx_sub: np.ndarray) -> np.ndarray:
-    """``tx_sub`` as floats (0.0/1.0) in the shared scratch buffer."""
-    global _TX_FLOAT_WS
-    if _TX_FLOAT_WS.size < tx_sub.size:
-        _TX_FLOAT_WS = np.empty(max(tx_sub.size, 2 * _TX_FLOAT_WS.size))
-    view = _TX_FLOAT_WS[: tx_sub.size].reshape(tx_sub.shape)
+    """``tx_sub`` as floats (0.0/1.0) in this thread's scratch buffer."""
+    buf = getattr(_TX_FLOAT_WS, "buf", None)
+    if buf is None or buf.size < tx_sub.size:
+        size = tx_sub.size if buf is None else max(tx_sub.size, 2 * buf.size)
+        buf = np.empty(size)
+        _TX_FLOAT_WS.buf = buf
+    view = buf[: tx_sub.size].reshape(tx_sub.shape)
     np.copyto(view, tx_sub)
     return view
 
@@ -327,6 +360,75 @@ def _resolve_slab(
     sinr = strongest_gain / (noise + total - strongest_gain)
     heard = (sinr >= beta) & ~tx_mask & tx_mask.any(axis=1)[:, None]
     return np.where(heard, strongest_pos, NO_SENDER)
+
+
+def resolve_reception_many(
+    gain,
+    transmitter_sets: Sequence[np.ndarray],
+    noise: float,
+    beta: float,
+    kernel: Optional[str] = None,
+    compact: bool = False,
+) -> list:
+    """Resolve several *heterogeneous* transmitter sets in one batched call.
+
+    The public entry the query service's batch coalescer is built on
+    (DESIGN.md §8): each element of ``transmitter_sets`` is an
+    independent round's transmitter index array (sets may differ in
+    size, overlap, or be empty), folded into one ``(B, n)`` mask and
+    served by a single :func:`resolve_reception_batch` invocation.
+
+    Row ``i`` of the result is **bitwise identical** to calling this
+    function with ``[transmitter_sets[i]]`` alone — the exact-zero-
+    neutral fold contract of DESIGN.md §6.2 makes every row independent
+    of the batch it rides in, for the dense path and the sparse backend
+    alike.  That is the coalescing-equivalence guarantee: a server may
+    fold concurrently arriving queries into one kernel call and answer
+    each client exactly what a dedicated call would have.  (Like
+    :func:`resolve_reception_batch`, the denominator association is
+    ``(noise + total) - signal``; the single-round
+    :func:`resolve_reception` groups it the other way, so *that*
+    function is not the oracle for this one.)
+
+    :param gain: ``(n, n)`` gain matrix or a
+        :class:`~repro.sinr.sparse.SparseGainBackend`.
+    :param transmitter_sets: sequence of transmitter index arrays, one
+        per query.
+    :param noise: ambient noise ``N``.
+    :param beta: SINR threshold.
+    :param kernel: kernel request (``None`` = ``"auto"``); kernels are
+        bitwise identical (DESIGN.md §2.3).
+    :param compact: return each row as a ``(receivers, senders)``
+        index-array pair — exactly the row's non-:data:`NO_SENDER`
+        entries, decided by the same arithmetic — instead of the
+        length-``n`` array.  The query service's reply shape: a burst
+        of ``B`` queries then never materializes ``(B, n)``.
+    :returns: one length-``n`` heard-sender array per input set, in
+        order (or one ``(receivers, senders)`` pair per set if
+        ``compact``).
+    """
+    sets = [np.asarray(t, dtype=np.intp) for t in transmitter_sets]
+    if not sets:
+        return []
+    restricted = getattr(gain, "resolve_reception_sets", None)
+    if restricted is not None:
+        # Sparse backend: resolve only at listeners reachable from each
+        # set — far cheaper for the small heterogeneous sets a query
+        # service serves (see that method for its equivalence contract).
+        return restricted(sets, noise, beta, kernel=kernel, compact=compact)
+    n = gain.shape[0]
+    tx_mask = np.zeros((len(sets), n), dtype=bool)
+    for b, transmitters in enumerate(sets):
+        if transmitters.size:
+            tx_mask[b, transmitters] = True
+    heard = resolve_reception_batch(gain, tx_mask, noise, beta, kernel=kernel)
+    if compact:
+        out = []
+        for b in range(len(sets)):
+            receivers = np.flatnonzero(heard[b] != NO_SENDER)
+            out.append((receivers, heard[b][receivers]))
+        return out
+    return [heard[b] for b in range(len(sets))]
 
 
 def resolve_reception(

@@ -441,6 +441,7 @@ class SparseGainBackend:
         #: regime (guaranteed when the per-axis extent is <= cutoff).
         self.far_empty = all(s <= reach + 1 for s in self.cells.shape)
         self._kernels: Optional[tuple] = None
+        self._far_spatial: Optional[tuple] = None
         self._entry_keys_cache: Optional[np.ndarray] = None
 
     # -- construction --------------------------------------------------
@@ -680,6 +681,7 @@ class SparseGainBackend:
         # that do.  Same grid shape and cell side => identical far-field
         # kernels; reuse the (possibly already computed) FFT transforms.
         patched._kernels = self._kernels
+        patched._far_spatial = self._far_spatial
         return patched
 
     def _entry_keys(self) -> np.ndarray:
@@ -750,6 +752,29 @@ class SparseGainBackend:
         return l_all, s_all, dists
 
     # -- far-field machinery -------------------------------------------
+    @staticmethod
+    def _fast_fft_len(m: int) -> int:
+        """Smallest 5-smooth integer ``>= m`` (a fast pocketfft length).
+
+        Circular convolution is exact for *any* padding of at least
+        ``2 s - 1`` cells per axis, so the padded length is free to be
+        rounded up to a radix-2/3/5 plan — ``numpy.fft``'s generic
+        large-prime path (e.g. 123 = 3 x 41) is several times slower
+        than the nearest smooth length (125 = 5**3).
+        """
+        best = 1 << max(m - 1, 0).bit_length()
+        f5 = 1
+        while f5 < best:
+            f15 = f5
+            while f15 < best:
+                k = f15
+                while k < m:
+                    k *= 2
+                best = min(best, k)
+                f15 *= 3
+            f5 *= 5
+        return best
+
     def _far_kernels(self) -> tuple:
         """Padded FFT kernels ``(K_hat, E_hat, padded_shape)`` (lazy).
 
@@ -766,14 +791,24 @@ class SparseGainBackend:
         shape = self.cells.shape
         h = self.cells.h
         reach = self.cells.reach
-        padded = tuple(2 * s - 1 if s > 1 else 1 for s in shape)
-        axes_off = [
-            np.concatenate(
-                [np.arange(0, s), np.arange(-(s - 1), 0)]
-            ).astype(float)
-            if s > 1 else np.zeros(1)
+        padded = tuple(
+            self._fast_fft_len(2 * s - 1) if s > 1 else 1
             for s in shape
-        ]
+        )
+        axes_off = []
+        axes_dead = []
+        for s, p in zip(shape, padded):
+            if s <= 1:
+                axes_off.append(np.zeros(1))
+                axes_dead.append(np.zeros(1, dtype=bool))
+                continue
+            off = np.zeros(p)
+            off[:s] = np.arange(s)
+            off[p - (s - 1):] = np.arange(-(s - 1), 0)
+            dead = np.zeros(p, dtype=bool)
+            dead[s:p - (s - 1)] = True
+            axes_off.append(off)
+            axes_dead.append(dead)
         grids = np.meshgrid(*axes_off, indexing="ij", sparse=False)
         absg = [np.abs(g) for g in grids]
         center = h * np.sqrt(sum(g * g for g in grids))
@@ -784,6 +819,13 @@ class SparseGainBackend:
         far = np.zeros(padded, dtype=bool)
         for g in absg:
             far |= g > reach
+        # Offset slots in the zero-padding dead zone (between +(s-1)
+        # and -(s-1) circularly) are never hit by an output-minus-count
+        # index difference; keep their kernel entries exactly zero.
+        for d, dead in enumerate(axes_dead):
+            shape_d = [1] * len(padded)
+            shape_d[d] = dead.size
+            far &= ~dead.reshape(shape_d)
         K = np.zeros(padded)
         E = np.zeros(padded)
         if far.any():
@@ -792,6 +834,23 @@ class SparseGainBackend:
         axes = tuple(range(len(padded)))
         K_hat = np.fft.rfftn(K, s=padded, axes=axes)
         E_hat = np.fft.rfftn(E, s=padded, axes=axes)
+        # The spatial tables double as the serving path's gather source
+        # (:meth:`_far_direct`): ``K[(x - c) mod padded]`` *is* the
+        # exact circular-convolution term the transforms compute.  The
+        # per-axis tables map a (listener cell, transmitter cell)
+        # coordinate pair straight to its stride-weighted flat offset,
+        # so the per-query work is pure gathers.
+        offset_tables = []
+        stride = 1
+        for s, p in zip(shape[::-1], padded[::-1]):
+            idx = np.arange(s, dtype=np.int64)
+            offset_tables.append(
+                ((idx[:, None] - idx[None, :]) % p) * stride
+            )
+            stride *= p
+        self._far_spatial = (
+            K.reshape(-1), E.reshape(-1), offset_tables[::-1]
+        )
         self._kernels = (K_hat, E_hat, padded)
         return self._kernels
 
@@ -972,6 +1031,143 @@ class SparseGainBackend:
             ok = (best_sender < self.n) & (sinr >= beta) & ~tx_mask[b]
             heard[b, ok] = best_sender[ok]
         return heard
+
+    def _far_direct(
+        self, transmitters: np.ndarray, cand: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Far estimate/error at ``cand`` by direct kernel gather.
+
+        Evaluates the **same certified sums** as :meth:`far_band` —
+        ``est[x] = sum_c K[(x - c) mod padded]`` over the transmitters'
+        cells — but by gathering the spatial kernel tables at the
+        distinct occupied (candidate cell, transmitter cell) offset
+        pairs instead of transforming the whole cell grid.  For
+        serving-sized queries (tens of transmitters, hundreds of
+        occupied cells) that is two orders of magnitude cheaper than
+        the batched FFT, and the cost scales with the *query*, not
+        with the deployment.
+
+        The two evaluations are different floating-point roundings of
+        one exact quantity; both are covered by the certified band
+        (:data:`FFT_SLACK_REL` was sized for the transforms' error,
+        which dominates the short direct sum's).  The direct sum is
+        deterministic per (set, candidate) pair — independent of
+        batching, which is what the serving path's coalescing
+        invariance rests on.
+        """
+        self._far_kernels()
+        K_flat, E_flat, offset_tables = self._far_spatial
+        cells = self.cells
+        cell_of = cells.cell_of
+        # Candidates cluster heavily: evaluate per *distinct occupied
+        # cell* (the far field is constant within a cell by definition)
+        # and scatter-gather back, avoiding any sort.
+        seen = np.zeros(cells.n_cells, dtype=bool)
+        cand_cells = cell_of[cand]
+        seen[cand_cells] = True
+        ucells = np.flatnonzero(seen)
+        slot = np.empty(cells.n_cells, dtype=np.int64)
+        slot[ucells] = np.arange(ucells.size)
+        uvec = np.unravel_index(ucells, cells.shape)
+        tvec = cells.cell_vec[transmitters]
+        flat = offset_tables[0][uvec[0][:, None], tvec[None, :, 0]]
+        for d in range(1, len(offset_tables)):
+            flat = flat + offset_tables[d][
+                uvec[d][:, None], tvec[None, :, d]
+            ]
+        est_u = np.maximum(K_flat[flat].sum(axis=1), 0.0)
+        err_u = np.maximum(E_flat[flat].sum(axis=1), 0.0)
+        take = slot[cand_cells]
+        return est_u[take], err_u[take]
+
+    def resolve_reception_sets(
+        self,
+        transmitter_sets,
+        noise: float,
+        beta: float,
+        kernel: Optional[str] = None,
+        compact: bool = False,
+    ) -> list:
+        """Heterogeneous-set resolution restricted to reachable listeners.
+
+        The serving path of
+        :func:`repro.sinr.reception.resolve_reception_many`: the near
+        fold is the ordinary :meth:`_near_scan` (bitwise the batch
+        resolver's arithmetic, compiled kernel included), after which
+        the per-set work — far field, SINR, decisions — runs only at
+        the **candidate listeners**: stations with at least one
+        transmitter inside the cutoff.  Every other station provably
+        hears nothing (its best near sender does not exist, and the
+        ``best_sender < n`` guard rejects it regardless of ``beta``),
+        so skipping it cannot change a bit.  The far term comes from
+        :meth:`_far_direct`, whose cost scales with the query instead
+        of the cell grid — which is what makes coalesced query serving
+        overhead-bound instead of kernel-bound (DESIGN.md §8).
+
+        **Serving contract.** Each returned row depends only on its own
+        (set, noise, beta) — never on what else shares the call — so a
+        coalesced batch is bitwise identical to the same queries served
+        one at a time.  Relative to :meth:`resolve_reception_batch` of
+        the same set alone, the near fold and every decision guard are
+        bitwise identical; on far-active deployments the far/band
+        denominator terms are a different (tighter) rounding of the
+        same certified sum, so decisions agree whenever the SINR margin
+        exceeds ulp-scale rounding — and exactly, bit for bit, whenever
+        the far set is empty.  ``kernel`` overrides the backend's
+        construction-time kernel for this call (kernels are bitwise
+        identical per DESIGN.md §2.3).
+
+        ``compact=True`` returns each row as a ``(receivers, senders)``
+        index-array pair instead of materializing the length-``n`` row —
+        exactly the row's non-:data:`NO_SENDER` entries, decided by the
+        same arithmetic (the query service serves replies from this
+        projection, so a burst of queries never allocates ``(B, n)``).
+
+        :returns: one length-``n`` heard-sender array per input set, or
+            one ``(receivers, senders)`` pair per set if ``compact``.
+        """
+        kern = (
+            self.kernel if kernel is None
+            else _kernels.resolve_kernel(kernel)
+        )
+        sets = [
+            np.unique(np.asarray(t, dtype=np.int64))
+            for t in transmitter_sets
+        ]
+        empty = np.empty(0, dtype=np.intp)
+        if compact:
+            block = None
+            out = [(empty, empty)] * len(sets)
+        else:
+            block = np.full((len(sets), self.n), NO_SENDER, dtype=np.intp)
+            out = list(block)
+        is_tx = np.zeros(self.n, dtype=bool)
+        for b, transmitters in enumerate(sets):
+            if transmitters.size == 0:
+                continue
+            total, best_gain, best_sender = self._near_scan(
+                transmitters, kern
+            )
+            cand = np.flatnonzero(best_sender < self.n)
+            if cand.size == 0:
+                continue
+            gain_c = best_gain[cand]
+            denom = noise + total[cand] - gain_c
+            if not self.far_empty:
+                est, err = self._far_direct(transmitters, cand)
+                band = err + FFT_SLACK_REL * (est + err)
+                denom = denom + est + band
+            sinr = np.divide(gain_c, denom)
+            is_tx[transmitters] = True
+            ok = (sinr >= beta) & ~is_tx[cand]
+            is_tx[transmitters] = False
+            receivers = cand[ok]
+            senders = best_sender[receivers]
+            if compact:
+                out[b] = (receivers, senders)
+            else:
+                block[b, receivers] = senders
+        return out
 
     def sinr_values(
         self,

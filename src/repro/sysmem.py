@@ -1,11 +1,12 @@
 """System/process memory helpers shared by tests and benchmarks.
 
 The scale tests and benchmarks gate multi-GB builds on available memory
-and report peak RSS next to their timings.  One implementation lives
-here — ``benchmarks/memutil.py`` re-exports it and the scale smoke
-tests import it directly — so a fix (e.g. honoring cgroup limits that
-``MemAvailable`` overstates on containerized CI) reaches every caller
-at once.
+and report peak RSS next to their timings, and the query service sizes
+its resident-network pool from the same numbers.  One implementation
+lives here and every caller — bench scripts, scale smoke tests,
+:mod:`repro.service.pool` — imports it directly, so a fix (e.g.
+honoring cgroup limits that ``MemAvailable`` overstates on
+containerized CI) reaches every caller at once.
 """
 
 from __future__ import annotations

@@ -1,0 +1,613 @@
+"""Tests for the resident-network query service (DESIGN.md §8).
+
+The load-bearing claims, each pinned here:
+
+* **Coalescing is invisible** — responses to concurrently issued SINR
+  queries (folded into shared kernel calls) are bitwise identical to an
+  uncoalesced server's and to direct in-process resolution.
+* **The pool is a budgeted LRU** — admission past the byte budget evicts
+  least-recently-used networks, never the one just admitted, and ``get``
+  refreshes recency.
+* **Cancellation is per-item** — a client abandoning a request mid-batch
+  does not disturb the other items folded into the same kernel call.
+* **The result cache is shared** — a sweep computed through the service
+  replays in a plain CLI ``run_grid`` (and vice versa) because both
+  address the same :func:`repro.fastsim.cache.point_key`.
+* **``run_grid(service=...)`` is an execution backend** — results are
+  bitwise equal to the fork pool's.
+
+Async tests drive an in-process server over loopback TCP inside
+``asyncio.run``; the grid tests run the daemon on a background thread
+(its own event loop) because ``run_grid``'s service path owns the
+caller's loop.
+"""
+
+import asyncio
+import contextlib
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.constants import ProtocolConstants
+from repro.deploy import uniform_square
+from repro.fastsim.grid import Derived, GridPoint, GridSpec, run_grid
+from repro.network.network import Network
+from repro.service import (
+    BatchCoalescer,
+    NetworkPool,
+    ServiceClient,
+    ServiceError,
+    ServiceServer,
+    connect,
+)
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    encode_frame,
+    pack_pickle,
+    read_frame,
+    unpack_pickle,
+)
+from repro.service.server import build_network
+from repro.sinr.reception import resolve_reception_many
+
+CONSTANTS = ProtocolConstants.practical()
+
+#: A small deterministic deployment spec reused across tests.
+SPEC = {"family": "uniform_square", "seed": 7,
+        "args": {"n": 30, "side": 2.0}}
+
+
+def _transmitter_sets(n, count, seed=0):
+    rng = np.random.default_rng(seed)
+    sets = [
+        np.flatnonzero(rng.random(n) < rng.uniform(0.05, 0.4))
+        for _ in range(count)
+    ]
+    sets[0] = np.array([], dtype=int)  # one empty set in every batch
+    return sets
+
+
+@contextlib.asynccontextmanager
+async def _serve(**server_kwargs):
+    """In-process server + connected client over loopback TCP."""
+    server = ServiceServer(**server_kwargs)
+    await server.start_tcp("127.0.0.1", 0)
+    host, port = server.tcp_address
+    client = await connect(f"tcp:{host}:{port}")
+    try:
+        yield server, client
+    finally:
+        await client.aclose()
+        await server.aclose()
+
+
+class _ServerThread:
+    """A daemon on a background thread, for tests that drive run_grid."""
+
+    def __init__(self, **server_kwargs):
+        self.address = None
+        self._ready = threading.Event()
+        self._loop = None
+        self._server = None
+        self._thread = threading.Thread(
+            target=self._run, kwargs=server_kwargs, daemon=True
+        )
+        self._thread.start()
+        assert self._ready.wait(20), "service thread failed to start"
+
+    def _run(self, **server_kwargs):
+        async def main():
+            self._server = ServiceServer(**server_kwargs)
+            await self._server.start_tcp("127.0.0.1", 0)
+            host, port = self._server.tcp_address
+            self.address = f"tcp:{host}:{port}"
+            self._loop = asyncio.get_running_loop()
+            self._ready.set()
+            await self._server.serve_forever()
+
+        asyncio.run(main())
+
+    def stop(self):
+        self._loop.call_soon_threadsafe(self._server.shutdown)
+        self._thread.join(20)
+
+
+@contextlib.contextmanager
+def _server_thread(**server_kwargs):
+    thread = _ServerThread(**server_kwargs)
+    try:
+        yield thread.address
+    finally:
+        thread.stop()
+
+
+# ----------------------------------------------------------------------
+# protocol
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def _roundtrip(self, frame_bytes):
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(frame_bytes)
+            reader.feed_eof()
+            return await read_frame(reader)
+
+        return asyncio.run(go())
+
+    def test_frame_roundtrip(self):
+        message = {"id": 3, "op": "sinr", "transmitters": [0, 2]}
+        assert self._roundtrip(encode_frame(message)) == message
+
+    def test_eof_is_none(self):
+        assert self._roundtrip(b"") is None
+
+    def test_garbage_raises(self):
+        with pytest.raises(ServiceError):
+            self._roundtrip(b"not json\n")
+
+    def test_non_object_raises(self):
+        with pytest.raises(ServiceError):
+            self._roundtrip(b"[1, 2]\n")
+
+    def test_oversize_raises(self):
+        async def go():
+            reader = asyncio.StreamReader(limit=1 << 16)
+            reader.feed_data(b"x" * (1 << 17))
+            return await read_frame(reader)
+
+        with pytest.raises(ServiceError):
+            asyncio.run(go())
+        assert MAX_FRAME_BYTES > (1 << 20)
+
+    def test_pickle_roundtrip(self):
+        payload = {"a": np.arange(4), "s": np.random.SeedSequence(5)}
+        out = unpack_pickle(pack_pickle(payload))
+        assert np.array_equal(out["a"], payload["a"])
+        assert out["s"].entropy == 5
+
+
+# ----------------------------------------------------------------------
+# the pool
+# ----------------------------------------------------------------------
+class TestNetworkPool:
+    @staticmethod
+    def _net(seed, n=16):
+        rng = np.random.default_rng(seed)
+        net = uniform_square(n=n, side=1.5, rng=rng)
+        net.gain_operator  # materialize so resident_bytes sees actuals
+        return net
+
+    def test_admit_and_get(self):
+        pool = NetworkPool()
+        net = self._net(0)
+        fingerprint, evicted = pool.add(net)
+        assert evicted == []
+        assert pool.get(fingerprint) is net
+        assert pool.get("missing") is None
+        assert fingerprint in pool
+
+    def test_lru_eviction_under_tight_budget(self):
+        nets = [self._net(seed) for seed in range(3)]
+        # Budget fits exactly two of the three resident networks
+        # (equal-size deployments; eviction triggers strictly past it).
+        budget = nets[0].resident_bytes() + nets[1].resident_bytes()
+        pool = NetworkPool(budget_bytes=budget)
+        fps = [pool.add(net)[0] for net in nets[:2]]
+        assert len(pool) == 2
+        # Touch the oldest so the *middle* one is least recently used.
+        assert pool.get(fps[0]) is nets[0]
+        fp2, evicted = pool.add(nets[2])
+        assert evicted == [fps[1]]
+        assert pool.get(fps[1]) is None
+        assert pool.get(fps[0]) is nets[0]
+        assert pool.get(fp2) is nets[2]
+
+    def test_never_evicts_the_just_added_network(self):
+        big = self._net(5, n=24)
+        pool = NetworkPool(budget_bytes=1)  # nothing fits
+        fingerprint, evicted = pool.add(big)
+        assert evicted == []
+        assert pool.get(fingerprint) is big
+
+    def test_max_networks_cap(self):
+        pool = NetworkPool(max_networks=2)
+        fps = [pool.add(self._net(seed))[0] for seed in range(3)]
+        assert len(pool) == 2
+        assert pool.get(fps[0]) is None
+
+    def test_stats_counters(self):
+        pool = NetworkPool()
+        fingerprint, _ = pool.add(self._net(1))
+        pool.get(fingerprint)
+        pool.get("nope")
+        stats = pool.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["networks"] == 1
+        assert stats["resident_bytes"] > 0
+
+
+# ----------------------------------------------------------------------
+# the coalescer
+# ----------------------------------------------------------------------
+class TestBatchCoalescer:
+    def test_folds_concurrent_submissions(self):
+        calls = []
+
+        def fold(items):
+            calls.append(len(items))
+            return [i * 10 for i in items]
+
+        async def go():
+            co = BatchCoalescer(fold, window=0.01, max_batch=8)
+            return await asyncio.gather(*(co.submit(i) for i in range(5))), co
+
+        results, co = asyncio.run(go())
+        assert results == [0, 10, 20, 30, 40]
+        assert co.stats.requests == 5
+        assert co.stats.batches == len(calls) < 5
+        assert co.stats.max_batch > 1
+
+    def test_max_batch_splits(self):
+        sizes = []
+
+        def fold(items):
+            sizes.append(len(items))
+            return list(items)
+
+        async def go():
+            co = BatchCoalescer(fold, window=0.01, max_batch=3)
+            await asyncio.gather(*(co.submit(i) for i in range(7)))
+
+        asyncio.run(go())
+        assert max(sizes) <= 3 and sum(sizes) == 7
+
+    def test_disabled_serves_singles(self):
+        sizes = []
+
+        def fold(items):
+            sizes.append(len(items))
+            return list(items)
+
+        async def go():
+            co = BatchCoalescer(fold, window=0.01, enabled=False)
+            await asyncio.gather(*(co.submit(i) for i in range(4)))
+            return co
+
+        co = asyncio.run(go())
+        assert sizes == [1, 1, 1, 1]
+        assert co.stats.folded == 0
+
+    def test_cancellation_mid_batch_spares_batchmates(self):
+        folded = []
+
+        def fold(items):
+            folded.append(sorted(items))
+            return [i * 10 for i in items]
+
+        async def go():
+            co = BatchCoalescer(fold, window=0.05, max_batch=8)
+            doomed = asyncio.ensure_future(co.submit(99))
+            survivors = [
+                asyncio.ensure_future(co.submit(i)) for i in (1, 2)
+            ]
+            await asyncio.sleep(0)  # all three join the pending batch
+            doomed.cancel()
+            results = await asyncio.gather(*survivors)
+            with pytest.raises(asyncio.CancelledError):
+                await doomed
+            return results, co
+
+        results, co = asyncio.run(go())
+        assert results == [10, 20]
+        assert folded == [[1, 2]]  # the cancelled item never reached fold
+        assert co.stats.max_batch == 2
+
+    def test_fold_error_reaches_every_waiter(self):
+        def fold(items):
+            raise ValueError("kernel exploded")
+
+        async def go():
+            co = BatchCoalescer(fold, window=0.005)
+            results = await asyncio.gather(
+                co.submit(1), co.submit(2), return_exceptions=True
+            )
+            return results
+
+        results = asyncio.run(go())
+        assert all(isinstance(r, ValueError) for r in results)
+
+
+# ----------------------------------------------------------------------
+# serve == direct call, coalesced or not
+# ----------------------------------------------------------------------
+class TestCoalescedEquivalence:
+    def _serve_all(self, coalesce):
+        async def go():
+            async with _serve(
+                window=0.01, max_batch=16, coalesce=coalesce
+            ) as (server, client):
+                built = await client.build(SPEC)
+                sets = _transmitter_sets(built["n"], 12)
+                replies = await asyncio.gather(*(
+                    client.sinr(built["net"], tx, full=True) for tx in sets
+                ))
+                return built, sets, replies, server
+
+        return asyncio.run(go())
+
+    def test_coalesced_matches_uncoalesced_and_direct(self):
+        built, sets, coalesced, server = self._serve_all(coalesce=True)
+        _, _, singles, _ = self._serve_all(coalesce=False)
+
+        # The coalesced run actually batched (else this test is vacuous).
+        stats = [
+            co.stats for co in server._coalescers.values()
+        ]
+        assert sum(s.requests for s in stats) == len(sets)
+        assert max(s.max_batch for s in stats) > 1
+
+        # Service (both modes) == direct in-process resolution, bitwise.
+        net = build_network(SPEC)
+        direct = resolve_reception_many(
+            net.gain_operator, sets, net.params.noise, net.params.beta
+        )
+        for reply_c, reply_s, heard in zip(coalesced, singles, direct):
+            assert reply_c["heard"] == reply_s["heard"] == heard.tolist()
+
+    def test_sinr_validates_indices(self):
+        async def go():
+            async with _serve() as (_, client):
+                built = await client.build(SPEC)
+                with pytest.raises(ServiceError):
+                    await client.sinr(built["net"], [built["n"]])
+
+        asyncio.run(go())
+
+
+# ----------------------------------------------------------------------
+# server ops
+# ----------------------------------------------------------------------
+class TestServerOps:
+    def test_build_is_idempotent_and_pool_backed(self):
+        async def go():
+            async with _serve() as (server, client):
+                first = await client.build(SPEC)
+                again = await client.build(SPEC)
+                assert again["net"] == first["net"]
+                assert len(server.pool) == 1
+                # The fingerprint shortcut skips the rebuild entirely.
+                short = await client.build({"fingerprint": first["net"]})
+                assert short["net"] == first["net"]
+                return first
+
+        built = asyncio.run(go())
+        assert built["n"] == SPEC["args"]["n"]
+        assert built["resident_bytes"] > 0
+
+    def test_unknown_network_and_op_are_clean_errors(self):
+        async def go():
+            async with _serve() as (_, client):
+                with pytest.raises(ServiceError, match="no resident"):
+                    await client.sinr("f" * 64, [0])
+                with pytest.raises(ServiceError, match="unknown op"):
+                    await client.request("frobnicate")
+                # The connection survives both errors.
+                assert await client.ping()
+
+        asyncio.run(go())
+
+    def test_ball_graph_connected_match_direct(self):
+        async def go():
+            async with _serve() as (_, client):
+                built = await client.build(SPEC)
+                ball = await client.ball(built["net"], 0, 0.75)
+                graph = await client.graph(built["net"])
+                connected = await client.is_connected(built["net"])
+                return ball, graph, connected
+
+        ball, graph, connected = asyncio.run(go())
+        net = build_network(SPEC)
+        assert ball == np.asarray(net.ball(0, 0.75)).tolist()
+        assert graph["num_edges"] == net.graph.number_of_edges()
+        assert sorted(map(tuple, graph["edges"])) == sorted(
+            (int(u), int(v)) for u, v in net.graph.edges()
+        )
+        assert connected == net.is_connected
+
+    def test_advance_admits_successor(self):
+        async def go():
+            async with _serve() as (server, client):
+                built = await client.build(SPEC)
+                n = built["n"]
+                still = await client.advance(built["net"], np.zeros((n, 2)))
+                assert still["advance_mode"] == "unmoved"
+                assert still["net"] == built["net"]
+                rng = np.random.default_rng(1)
+                moved = await client.advance(
+                    built["net"], rng.normal(0, 0.01, size=(n, 2))
+                )
+                assert moved["net"] != built["net"]
+                assert moved["net"] in server.pool
+                # The successor serves queries immediately.
+                reply = await client.sinr(moved["net"], [0], full=True)
+                assert len(reply["heard"]) == n
+
+        asyncio.run(go())
+
+    def test_pool_eviction_is_visible_to_clients(self):
+        async def go():
+            pool = NetworkPool(max_networks=1)
+            async with _serve(pool=pool) as (_, client):
+                first = await client.build(SPEC)
+                second = await client.build(
+                    {**SPEC, "seed": 8}
+                )
+                assert first["net"] in second["evicted"]
+                with pytest.raises(ServiceError, match="evicted"):
+                    await client.sinr(first["net"], [0])
+
+        asyncio.run(go())
+
+    def test_stats_op(self):
+        async def go():
+            async with _serve() as (_, client):
+                built = await client.build(SPEC)
+                await client.sinr(built["net"], [0, 1])
+                stats = await client.stats()
+                return stats
+
+        stats = asyncio.run(go())
+        assert stats["pool"]["networks"] == 1
+        assert stats["requests_served"] >= 2
+        assert stats["coalescers"]
+        assert stats["peak_rss_bytes"] > 0
+
+    def test_client_timeout_mid_batch_leaves_server_healthy(self):
+        # A client that stops waiting (timeout/cancel) mid-coalesce must
+        # not corrupt the batch its request rode in: later requests on
+        # the same connection still answer correctly.
+        async def go():
+            async with _serve(window=0.05) as (_, client):
+                built = await client.build(SPEC)
+                with pytest.raises(asyncio.TimeoutError):
+                    await asyncio.wait_for(
+                        client.sinr(built["net"], [0]), timeout=0.001
+                    )
+                reply = await client.sinr(built["net"], [0], full=True)
+                return built, reply
+
+        built, reply = asyncio.run(go())
+        net = build_network(SPEC)
+        direct = resolve_reception_many(
+            net.gain_operator, [np.array([0])],
+            net.params.noise, net.params.beta,
+        )[0]
+        assert reply["heard"] == direct.tolist()
+
+
+# ----------------------------------------------------------------------
+# sweeps, caching and the grid execution path
+# ----------------------------------------------------------------------
+def _grid_points():
+    return [
+        GridPoint(
+            kind="spont_broadcast",
+            deployment=lambda rng, n=n: uniform_square(
+                n=n, side=1.5, rng=rng
+            ),
+            n_replications=2,
+            label=f"n={n}",
+            constants=CONSTANTS,
+            kwargs={"source": Derived(lambda net, rng: 0)},
+        )
+        for n in (10, 12)
+    ] + [
+        GridPoint(
+            kind="spont_broadcast",
+            deployment=lambda rng: uniform_square(n=14, side=1.5, rng=rng),
+            n_replications=2,
+            label=f"shared-{src}",
+            constants=CONSTANTS,
+            kwargs={"source": src},
+            share_deployment="svc-shared",
+            post=_degree_post,
+        )
+        for src in (0, 5)
+    ]
+
+
+def _degree_post(net, sweep):
+    return {"max_degree": int(net.max_degree)}
+
+
+def _spec():
+    return GridSpec(points=_grid_points(), seed=2014, name="svc-grid")
+
+
+def _assert_same_results(a, b):
+    assert len(a) == len(b)
+    for ra, rb in zip(a, b):
+        assert np.array_equal(
+            ra.sweep.rounds, rb.sweep.rounds, equal_nan=True
+        )
+        assert np.array_equal(ra.sweep.success, rb.sweep.success)
+        assert ra.extras == rb.extras
+
+
+class TestSweepAndGrid:
+    def test_sweep_server_side_cache(self, tmp_path):
+        async def go():
+            async with _serve(cache_dir=str(tmp_path)) as (_, client):
+                built = await client.build(SPEC)
+                first = await client.sweep(
+                    "spont_broadcast", 2, 11, net=built["net"],
+                    constants=CONSTANTS, kwargs={"source": 0},
+                    key="svc-sweep-key",
+                )
+                second = await client.sweep(
+                    "spont_broadcast", 2, 11, net=built["net"],
+                    constants=CONSTANTS, kwargs={"source": 0},
+                    key="svc-sweep-key",
+                )
+                return first, second
+
+        first, second = asyncio.run(go())
+        assert not first["cached"] and second["cached"]
+        assert np.array_equal(
+            first["sweep"].rounds, second["sweep"].rounds, equal_nan=True
+        )
+
+    def test_grid_service_matches_fork_pool(self):
+        forked = run_grid(_spec(), jobs=2)
+        with _server_thread() as address:
+            served = run_grid(_spec(), service=address)
+        _assert_same_results(forked, served)
+        assert not any(r.cached for r in served)
+
+    def test_service_run_populates_cli_cache(self, tmp_path):
+        # Client-side writes: a service-backed grid run fills the same
+        # store a plain CLI run replays from.
+        with _server_thread() as address:
+            served = run_grid(
+                _spec(), service=address, cache_dir=str(tmp_path)
+            )
+        replay = run_grid(_spec(), jobs=1, cache_dir=str(tmp_path))
+        assert all(r.cached for r in replay)
+        _assert_same_results(served, replay)
+
+    def test_server_cache_replays_in_cli_run(self, tmp_path):
+        # Server-side writes: the daemon's own cache entries are keyed by
+        # the ordinary point_key, so a CLI run against the same directory
+        # replays them without recomputing.
+        with _server_thread(cache_dir=str(tmp_path)) as address:
+            served = run_grid(_spec(), service=address, cache=False)
+        hookless = [
+            r for r in run_grid(_spec(), jobs=1, cache_dir=str(tmp_path))
+            if r.point.post is None
+        ]
+        assert hookless and all(r.cached for r in hookless)
+        by_label = {r.point.label: r for r in served}
+        for r in hookless:
+            assert np.array_equal(
+                r.sweep.rounds, by_label[r.point.label].sweep.rounds,
+                equal_nan=True,
+            )
+
+    def test_pool_hits_across_grid_runs(self):
+        # The cross-run win: a second service-backed run of the same spec
+        # finds every deployment already resident.
+        with _server_thread() as address:
+            run_grid(_spec(), service=address)
+            run_grid(_spec(), service=address)
+
+            async def poolstats():
+                client = await connect(address)
+                try:
+                    return (await client.stats())["pool"]
+                finally:
+                    await client.aclose()
+
+            stats = asyncio.run(poolstats())
+        assert stats["networks"] == 3  # deployments deduped, resident
+        assert stats["hits"] >= 3  # second run served from the pool

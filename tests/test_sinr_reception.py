@@ -446,3 +446,116 @@ class TestRankCacheEviction:
         new_rank, _ = _listener_ranking(cold)
         assert new_rank is not cold_rank
         assert np.array_equal(new_rank, cold_rank)
+
+    def test_concurrent_churn_is_safe(self):
+        # Regression for the unlocked LRU: concurrent rank lookups with
+        # eviction churn could hit `move_to_end`/`popitem` races (KeyError
+        # out of a *read* path).  The service drives resolvers from
+        # executor threads, so hammer the cache from several threads past
+        # its limit and require clean results and a bounded cache.
+        import threading
+
+        from repro.sinr.reception import (
+            _RANK_CACHE,
+            _RANK_CACHE_LIMIT,
+            _listener_ranking,
+        )
+
+        live = self._matrix(np.random.default_rng(5))
+        expect_rank, expect_pos = _listener_ranking(live)
+        expect_rank = expect_rank.copy()
+        expect_pos = expect_pos.copy()
+        errors: list = []
+
+        def churn(seed: int) -> None:
+            rng = np.random.default_rng(seed)
+            try:
+                for _ in range(_RANK_CACHE_LIMIT):
+                    _listener_ranking(self._matrix(rng))
+                    rank, pos = _listener_ranking(live)
+                    if not (
+                        np.array_equal(rank, expect_rank)
+                        and np.array_equal(pos, expect_pos)
+                    ):
+                        raise AssertionError("corrupt ranking under churn")
+            except BaseException as exc:  # noqa: BLE001 - collected
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=churn, args=(100 + t,)) for t in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+        assert len(_RANK_CACHE) <= _RANK_CACHE_LIMIT
+
+
+class TestResolveReceptionMany:
+    """The service's serving oracle: heterogeneous sets, batched once.
+
+    Every row must be bitwise identical to resolving that transmitter
+    set alone through the batched resolver — that is the contract that
+    makes the daemon's request coalescing semantically invisible.
+    """
+
+    def _case(self, seed, n=10, sets=5):
+        rng = np.random.default_rng(seed)
+        g = _gains(rng.uniform(0, 1.5, size=(n, 2)))
+        transmitter_sets = [
+            np.flatnonzero(rng.random(n) < rng.uniform(0.0, 0.5))
+            for _ in range(sets)
+        ]
+        transmitter_sets.append(np.array([], dtype=int))  # empty set row
+        transmitter_sets.append(np.arange(n))             # all-transmit row
+        return g, transmitter_sets
+
+    def test_rows_match_singleton_batches(self):
+        from repro.sinr.reception import resolve_reception_many
+
+        g, sets = self._case(9)
+        many = resolve_reception_many(g, sets, PARAMS.noise, PARAMS.beta)
+        assert len(many) == len(sets)
+        for tx, heard in zip(sets, many):
+            mask = np.zeros((1, g.shape[0]), dtype=bool)
+            mask[0, tx] = True
+            alone = resolve_reception_batch(
+                g, mask, PARAMS.noise, PARAMS.beta
+            )[0]
+            assert np.array_equal(heard, alone)
+
+    def test_ragged_sets_accepted(self):
+        from repro.sinr.reception import resolve_reception_many
+
+        g, _ = self._case(10, n=6)
+        many = resolve_reception_many(
+            g, [[0], [0, 1, 2], []], PARAMS.noise, PARAMS.beta
+        )
+        assert [m.shape for m in many] == [(6,), (6,), (6,)]
+        assert np.all(many[2] == NO_SENDER)
+
+    def test_empty_request_list(self):
+        from repro.sinr.reception import resolve_reception_many
+
+        g, _ = self._case(11, n=4)
+        assert resolve_reception_many(g, [], PARAMS.noise, PARAMS.beta) == []
+
+    def test_sparse_backend_rows_match(self):
+        from repro.sinr.reception import resolve_reception_many
+        from repro.sinr.sparse import SparseGainBackend
+
+        rng = np.random.default_rng(12)
+        coords = rng.uniform(0, 2.0, size=(14, 2))
+        backend = SparseGainBackend(coords, PARAMS, None, 1.5)
+        sets = [np.array([0, 5]), np.array([], dtype=int), np.arange(7)]
+        many = resolve_reception_many(
+            backend, sets, PARAMS.noise, PARAMS.beta
+        )
+        for tx, heard in zip(sets, many):
+            mask = np.zeros((1, 14), dtype=bool)
+            mask[0, tx] = True
+            alone = backend.resolve_reception_batch(
+                mask, PARAMS.noise, PARAMS.beta
+            )[0]
+            assert np.array_equal(heard, alone)

@@ -37,6 +37,7 @@ FLOORS = {
     "repro.fastsim.grid": 100.0,
     "repro.deploy.mobility": 100.0,
     "repro.kernels": 100.0,
+    "repro.service": 100.0,
 }
 
 
