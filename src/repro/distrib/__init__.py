@@ -1,0 +1,44 @@
+"""Distributed sweep orchestration: shard grid points across hosts.
+
+The grid layer (:mod:`repro.fastsim.grid`) fans points out over a
+single-machine fork pool; this package takes the same prepared points
+**beyond one host**.  The coordination substrate is deliberately the
+infrastructure that already exists:
+
+* the content-addressed on-disk result cache
+  (:mod:`repro.fastsim.cache`) is the **result bus** — a worker
+  publishes each finished point under its ordinary
+  :func:`~repro.fastsim.cache.point_key`, so a distributed run, a
+  service run and a CLI run replay each other's entries by
+  construction;
+* the resident-network service (:mod:`repro.service`) is the
+  **per-host executor** — one daemon per host, holding deployments hot
+  across points and runs.
+
+Two modules:
+
+* :mod:`repro.distrib.leases` — atomic lease files over the shared
+  cache directory (claim / refresh / release / expiry steal), the
+  cooperative mutual-exclusion layer that keeps N workers from
+  computing one point N times;
+* :mod:`repro.distrib.shard` — the coordinator: partition pending
+  points across worker daemons with per-request timeouts,
+  retry-with-backoff on connection loss, straggler re-dispatch, and a
+  leftover list the caller falls back to local execution with.
+
+Placement never changes results: per-point seeds are fixed at grid
+*preparation* time (DESIGN.md §6.3), so ``workers=N`` runs are bitwise
+identical to ``jobs=1`` — the same contract the fork pool honors,
+extended across machines (DESIGN.md §9).
+"""
+
+from repro.distrib.leases import LeaseBoard, LeaseState
+from repro.distrib.shard import PointRequest, ShardStats, run_sharded
+
+__all__ = [
+    "LeaseBoard",
+    "LeaseState",
+    "PointRequest",
+    "ShardStats",
+    "run_sharded",
+]

@@ -27,7 +27,16 @@ simulation code, pass ``--no-cache`` or clear the directory.  Bump
 
 Storage is one pickle file per key, written atomically (temp file +
 ``os.replace``) so a crashed run never leaves a truncated entry a later
-run would trip over; unreadable entries degrade to misses.
+run would trip over; unreadable entries degrade to misses, and temp
+files orphaned by a crash (plus stale ``*.lease`` markers from
+:mod:`repro.distrib.leases`) are swept by :meth:`ResultCache.prune`
+after a grace window.
+
+That atomicity is also what lets many *hosts* treat one cache directory
+as a **result bus** (DESIGN.md §9): concurrent ``put`` calls for the
+same key are last-write-wins of identical deterministic bytes, readers
+see either nothing or a complete entry — never a torn one — and
+``run_grid(workers=[...])`` coordinates whole sweeps through it.
 
 **Shared with the query service.**  A :mod:`repro.service` daemon given
 ``--cache-dir`` stores its ``sweep`` results under the same
@@ -45,6 +54,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
 from typing import Optional
 
@@ -53,6 +63,13 @@ import numpy as np
 #: Bump when the stored payload layout changes; old entries become
 #: unaddressable rather than mis-read.
 CACHE_SCHEMA_VERSION = 1
+
+#: Age (seconds since last mtime) past which :meth:`ResultCache.prune`
+#: sweeps orphaned write temporaries (``.*.tmp``) and lease files
+#: (``*.lease``).  Generous: a live writer finishes its ``os.replace``
+#: in milliseconds and a live lease holder refreshes its file every few
+#: seconds, so anything this old belongs to a crashed process.
+TMP_GRACE_S = 3600.0
 
 
 def fingerprint_bytes(obj) -> bytes:
@@ -237,6 +254,7 @@ class ResultCache:
         max_bytes: Optional[int] = None,
         max_entries: Optional[int] = None,
         dry_run: bool = False,
+        tmp_grace_s: float = TMP_GRACE_S,
     ) -> dict:
         """Evict least-recently-used entries until within the budgets.
 
@@ -247,13 +265,26 @@ class ResultCache:
         oldest entries go first.  Nothing is evicted when no budget is
         given (pure report).
 
+        Every call additionally sweeps the directory's *debris*: write
+        temporaries (``.*.tmp`` — a :meth:`put` killed between
+        ``mkstemp`` and ``os.replace`` leaks one, invisible to the
+        ``*.pkl`` accounting) and lease files (``*.lease``, left by
+        SIGKILLed workers — :mod:`repro.distrib.leases`) whose mtime is
+        older than ``tmp_grace_s``.  Live writers and lease holders
+        touch their files far more often than the grace window, so the
+        sweep only ever collects orphans.
+
         :param max_bytes: target total payload size.
         :param max_entries: target entry count.
         :param dry_run: report what would be evicted without deleting.
+        :param tmp_grace_s: minimum age of swept debris files (pass
+            ``None`` to skip the sweep entirely).
         :returns: report dict with ``entries``/``bytes`` before and
-            after, and the number of entries (to be) ``evicted``.
+            after, the number of entries (to be) ``evicted``, and the
+            number of debris files (to be) swept as ``tmp_swept``.
         """
         records = []
+        debris = []
         if self.root.is_dir():
             for path in self.root.glob("*.pkl"):
                 try:
@@ -261,6 +292,21 @@ class ResultCache:
                 except OSError:
                     continue
                 records.append((stat.st_mtime, stat.st_size, path))
+            if tmp_grace_s is not None:
+                horizon = time.time() - tmp_grace_s
+                for pattern in (".*.tmp", "*.lease"):
+                    for path in self.root.glob(pattern):
+                        try:
+                            if path.stat().st_mtime <= horizon:
+                                debris.append(path)
+                        except OSError:
+                            continue
+        if not dry_run:
+            for path in debris:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
         records.sort()  # oldest mtime first
         total_entries = len(records)
         total_bytes = sum(size for _, size, _ in records)
@@ -289,5 +335,6 @@ class ResultCache:
             "evicted": len(evict),
             "kept_entries": keep_entries,
             "kept_bytes": keep_bytes,
+            "tmp_swept": len(debris),
             "dry_run": dry_run,
         }

@@ -51,6 +51,16 @@ declared as data (:class:`GridSpec`) and executed by :func:`run_grid`:
   client-side on the parent's network instance.  Cache keys are the
   ordinary :func:`~repro.fastsim.cache.point_key` on both sides, so a
   service run and a CLI run replay each other's entries.
+* **multi-host sharding** — ``run_grid(workers=[addr, addr, ...])``
+  generalizes service execution to N daemons on N hosts
+  (:mod:`repro.distrib`, DESIGN.md §9): points are pulled from a shared
+  queue by per-worker dispatch tasks, coordinated through the on-disk
+  cache as the result bus, with per-request timeouts, straggler
+  re-dispatch guarded by worker-side lease files, reconnect with
+  backoff, and transparent fallback of orphaned points to the local
+  pool.  ``service=addr`` is exactly ``workers=[addr]``.  Seeds are
+  fixed at preparation time, so placement cannot change results:
+  ``workers=N`` output is bitwise identical to ``jobs=1``.
 
 DESIGN.md §6.3 records the contracts; ``benchmarks/bench_grid.py`` tracks
 the speedup and asserts parallel/serial result identity.
@@ -168,12 +178,22 @@ class GridOptions:
     :param service: resident-network service address
         (``"unix:<path>"`` / ``"tcp:<host>:<port>"``); when set,
         pending points are dispatched to the daemon's resident pool
-        instead of a fork pool and ``jobs`` is ignored.
+        instead of a fork pool and ``jobs`` is ignored (shorthand for
+        a single-entry ``workers`` list).
+    :param workers: addresses of several :mod:`repro.service` daemons
+        (one per host); pending points are sharded across them through
+        the cache result bus (DESIGN.md §9).  Takes precedence over
+        ``service``.
+    :param request_timeout: per-request timeout in seconds for
+        service/worker dispatch (``None`` = the client default,
+        :data:`repro.service.client.DEFAULT_REQUEST_TIMEOUT`).
     """
 
     jobs: int = 1
     cache_dir: Optional[str] = None
     service: Optional[str] = None
+    workers: Optional[list] = None
+    request_timeout: Optional[float] = None
 
 
 _DEFAULT_OPTIONS = GridOptions()
@@ -446,27 +466,39 @@ def run_grid(
     cache_dir: "Optional[str | os.PathLike]" = None,
     cache: Optional[bool] = None,
     service: Optional[str] = None,
+    workers: Optional[Sequence[str]] = None,
+    request_timeout: Optional[float] = None,
 ) -> list[GridPointResult]:
     """Execute a :class:`GridSpec`; results in point order.
 
     Parameters default to the process-wide :class:`GridOptions` (see
     :func:`set_default_grid_options`); pass ``cache=False`` to bypass a
     configured cache for one call.  Execution is result-identical across
-    ``jobs`` values, cache states and execution backends (fork pool vs
-    ``service=``): seeds are fixed at preparation time and cached
-    payloads are the pickled originals.
+    ``jobs`` values, cache states and execution backends (fork pool,
+    ``service=``, ``workers=``): seeds are fixed at preparation time and
+    cached payloads are the pickled originals.
 
     ``service`` names a running :mod:`repro.service` daemon
     (``"unix:<path>"`` / ``"tcp:<host>:<port>"``): pending points are
     sent as concurrent ``sweep`` requests against its resident-network
     pool — bitwise identical to fork execution, with deployments kept
-    hot across runs (DESIGN.md §8).  Service dispatch drives its own
-    asyncio event loop, so it must not be called from inside one.
+    hot across runs (DESIGN.md §8).  ``workers`` generalizes this to a
+    list of daemons on several hosts, sharded through the cache result
+    bus with fault-tolerant dispatch (DESIGN.md §9); points that
+    outlive every worker fall back to the local pool transparently.
+    Both paths drive their own asyncio event loop, so they must not be
+    called from inside one.
     """
     options = get_default_grid_options()
     jobs = options.jobs if jobs is None else jobs
     cache_dir = options.cache_dir if cache_dir is None else cache_dir
     service = options.service if service is None else service
+    workers = options.workers if workers is None else workers
+    request_timeout = (
+        options.request_timeout
+        if request_timeout is None
+        else request_timeout
+    )
     use_cache = (cache_dir is not None) if cache is None else (
         cache and cache_dir is not None
     )
@@ -504,11 +536,21 @@ def run_grid(
         if store is not None:
             store.put(prep.key, (sweep, extras))
 
-    if pending and service is not None:
-        _run_service(prepared, pending, service, on_result=finish)
-    elif pending:
-        workers = max(1, min(jobs, len(pending)))
-        if workers > 1 and not _fork_available():
+    n_uncached = len(pending)
+    addresses = list(workers) if workers else (
+        [service] if service is not None else []
+    )
+    if pending and addresses:
+        # Remote dispatch never raises on point failures: whatever
+        # could not be completed remotely comes back and runs locally.
+        pending = _run_service(
+            prepared, pending, addresses, on_result=finish,
+            store=store, request_timeout=request_timeout,
+            grid_name=spec.name,
+        )
+    if pending:
+        local_jobs = max(1, min(jobs, len(pending)))
+        if local_jobs > 1 and not _fork_available():
             warnings.warn(
                 f"grid {spec.name!r}: jobs={jobs} requested but the "
                 "'fork' start method is unavailable on this platform; "
@@ -516,9 +558,10 @@ def run_grid(
                 RuntimeWarning,
                 stacklevel=2,
             )
-        if workers > 1 and _fork_available():
+        if local_jobs > 1 and _fork_available():
             _run_parallel(
-                prepared, deployments, pending, workers, on_result=finish
+                prepared, deployments, pending, local_jobs,
+                on_result=finish,
             )
         else:
             for i in pending:
@@ -526,7 +569,7 @@ def run_grid(
     _LAST_RUN_STATS.update(
         name=spec.name,
         points=len(prepared),
-        cached=len(prepared) - len(pending),
+        cached=len(prepared) - n_uncached,
     )
     return results  # type: ignore[return-value]
 
@@ -587,21 +630,51 @@ def _run_parallel(
                 shm.unlink()
 
 
+def _service_descriptor(net: Network) -> dict:
+    """The pickled-network shape a daemon rebuilds a deployment from.
+
+    Mirrors the fork descriptor's content (coords, params, metric,
+    channel, backend/cutoff/kernel *requests*): the server-side rebuild
+    is bitwise identical to the fork worker's (DESIGN.md §8).
+    """
+    return {
+        "coords": np.asarray(net.coords),
+        "params": net.params,
+        "metric": net.metric,
+        "channel": net.channel,
+        "name": net.name,
+        "backend": net._backend_request,
+        "cutoff": net._cutoff,
+        "kernel": net._kernel_request,
+    }
+
+
 def _run_service(
     prepared: Sequence[_Prepared],
     pending: Sequence[int],
-    address: str,
+    addresses: Sequence[str],
     on_result: Callable[[int, SweepResult, dict], None],
-) -> None:
-    """Fan pending points out to a :mod:`repro.service` daemon.
+    store=None,
+    request_timeout: Optional[float] = None,
+    grid_name: str = "grid",
+) -> list:
+    """Shard pending points across :mod:`repro.service` daemons.
 
-    Every point becomes one pipelined ``sweep`` request over a single
-    connection; all requests are issued concurrently so the daemon can
-    interleave them against its resident-network pool.  Each request
-    carries both the deployment's fingerprint (a pool hit skips the
-    rebuild entirely — the cross-run win) and its full descriptor (so
-    an evicted or never-seen deployment is rebuilt server-side,
+    One dispatch task per address pulls points from a shared queue
+    (:func:`repro.distrib.shard.run_sharded`): a single address is the
+    classic ``service=`` path, several are a multi-host sweep.  Each
+    request carries both the deployment's fingerprint (a pool hit skips
+    the rebuild entirely — the cross-run win) and its full descriptor
+    (so an evicted or never-seen deployment is rebuilt server-side,
     bitwise-identically to the fork worker's reconstruction).
+
+    Failure handling is per point, never per run: a failed or timed-out
+    point is retried (on another worker where one exists) and, if it
+    keeps failing, *returned* for local execution — one bad point can
+    no longer cancel its siblings' in-flight requests or discard their
+    completed work.  ``on_result`` fires per completed point in
+    completion order, same contract as :func:`_run_parallel`; the
+    return value is the sorted list of indices still to execute.
 
     Post hooks run *client*-side, on the locally built network — hook
     closures are not picklable and need not be.  Hooked points are
@@ -612,49 +685,50 @@ def _run_service(
     their key (server-side caching is exact for them); hooked points
     still land in the *client's* cache via ``on_result``, extras and
     all.
-
-    ``on_result`` fires per completed point in completion order, same
-    contract as :func:`_run_parallel`.
     """
-    import asyncio
+    from repro.distrib.shard import PointRequest, run_sharded
 
-    from repro.service.client import connect
-
-    def _descriptor(net: Network) -> dict:
-        return {
-            "coords": np.asarray(net.coords),
-            "params": net.params,
-            "metric": net.metric,
-            "channel": net.channel,
-            "name": net.name,
-            "backend": net._backend_request,
-            "cutoff": net._cutoff,
-            "kernel": net._kernel_request,
-        }
-
-    async def _one(client, i: int) -> None:
-        prep = prepared[i]
-        net = prep.network
-        reply = await client.sweep(
-            prep.point.kind,
-            prep.point.n_replications,
-            prep.seed,
-            net=net.fingerprint(),
-            descriptor=_descriptor(net),
+    requests = [
+        PointRequest(
+            index=i,
+            kind=prep.point.kind,
+            n_replications=prep.point.n_replications,
+            seed=prep.seed,
             constants=prep.point.constants,
             kwargs=prep.kwargs,
             use_batch=prep.point.use_batch,
+            fingerprint=prep.network.fingerprint(),
+            descriptor=_service_descriptor(prep.network),
             key=(prep.key or None) if prep.point.post is None else None,
+            label=prep.point.label,
         )
-        sweep = reply["sweep"]
-        extras = prep.point.post(net, sweep) if prep.point.post else {}
-        on_result(i, sweep, extras)
+        for i, prep in ((i, prepared[i]) for i in pending)
+    ]
 
-    async def _dispatch() -> None:
-        client = await connect(address)
-        try:
-            await asyncio.gather(*(_one(client, i) for i in pending))
-        finally:
-            await client.aclose()
+    def on_sweep(index: int, sweep: SweepResult) -> None:
+        prep = prepared[index]
+        extras = (
+            prep.point.post(prep.network, sweep) if prep.point.post else {}
+        )
+        on_result(index, sweep, extras)
 
-    asyncio.run(_dispatch())
+    stats = run_sharded(
+        requests,
+        addresses,
+        on_sweep=on_sweep,
+        store=store,
+        request_timeout=request_timeout,
+    )
+    if stats.leftover:
+        detail = "; ".join(
+            f"point {i}: {msgs[-1]}"
+            for i, msgs in sorted(stats.errors.items())
+        ) or "workers unreachable"
+        warnings.warn(
+            f"grid {grid_name!r}: {len(stats.leftover)} of "
+            f"{len(requests)} dispatched points fall back to local "
+            f"execution ({detail})",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    return stats.leftover

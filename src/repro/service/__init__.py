@@ -29,7 +29,11 @@ keys are shared with CLI runs by construction.
 from repro.service.client import ServiceClient, connect
 from repro.service.coalescer import BatchCoalescer, CoalescerStats
 from repro.service.pool import NetworkPool
-from repro.service.protocol import ServiceError
+from repro.service.protocol import (
+    ServiceConnectionError,
+    ServiceError,
+    ServiceTimeout,
+)
 from repro.service.server import ServiceServer
 
 __all__ = [
@@ -37,7 +41,9 @@ __all__ = [
     "CoalescerStats",
     "NetworkPool",
     "ServiceClient",
+    "ServiceConnectionError",
     "ServiceError",
     "ServiceServer",
+    "ServiceTimeout",
     "connect",
 ]

@@ -50,6 +50,11 @@ def _parse_args(argv=None) -> argparse.Namespace:
         "(shared with CLI --cache-dir runs)",
     )
     parser.add_argument(
+        "--lease-ttl", type=float, default=30.0, metavar="SECONDS",
+        help="time-to-live of per-point lease files on keyed sweeps "
+        "(multi-host sharding, DESIGN.md §9.2; default %(default)s)",
+    )
+    parser.add_argument(
         "--window", type=float, default=0.002, metavar="SECONDS",
         help="coalescing window (default %(default)s)",
     )
@@ -91,6 +96,7 @@ async def _serve(args: argparse.Namespace) -> None:
         window=args.window,
         max_batch=args.max_batch,
         coalesce=not args.no_coalesce,
+        lease_ttl=args.lease_ttl,
     )
     if args.unix:
         await server.start_unix(args.unix)

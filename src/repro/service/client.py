@@ -21,7 +21,9 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.service.protocol import (
+    ServiceConnectionError,
     ServiceError,
+    ServiceTimeout,
     encode_frame,
     pack_pickle,
     read_frame,
@@ -29,8 +31,14 @@ from repro.service.protocol import (
 )
 
 
-async def connect(address: str) -> "ServiceClient":
-    """Open a client for ``unix:<path>`` or ``tcp:<host>:<port>``."""
+async def connect(
+    address: str, *, timeout: "Optional[float]" = None
+) -> "ServiceClient":
+    """Open a client for ``unix:<path>`` or ``tcp:<host>:<port>``.
+
+    ``timeout`` overrides the client's default per-request timeout
+    (:data:`DEFAULT_REQUEST_TIMEOUT`); ``None`` keeps the default.
+    """
     if address.startswith("unix:"):
         reader, writer = await asyncio.open_unix_connection(
             address[len("unix:"):], limit=_STREAM_LIMIT
@@ -45,11 +53,25 @@ async def connect(address: str) -> "ServiceClient":
             f"unrecognized service address {address!r}; expected "
             "'unix:<path>' or 'tcp:<host>:<port>'"
         )
-    return ServiceClient(reader, writer)
+    if timeout is None:
+        return ServiceClient(reader, writer)
+    return ServiceClient(reader, writer, timeout=timeout)
 
 
 #: Mirror of the server's stream limit (big displacement/graph frames).
 _STREAM_LIMIT = 256 * 1024 * 1024
+
+#: Default per-request timeout.  Generous — a full-scale sweep point
+#: legitimately computes for minutes — but *finite*: a peer that dies
+#: without closing its socket (host crash, TCP partition) must fail the
+#: request with :class:`ServiceTimeout` rather than hang the caller
+#: forever.  Pass ``timeout=None`` per client or per request to wait
+#: unboundedly where that is genuinely wanted.
+DEFAULT_REQUEST_TIMEOUT = 600.0
+
+#: Sentinel distinguishing "use the client default" from an explicit
+#: ``timeout=None`` (wait forever) on one request.
+_USE_DEFAULT = object()
 
 
 class ServiceClient:
@@ -57,16 +79,24 @@ class ServiceClient:
 
     Construct via :func:`connect` (or from an existing stream pair, as
     the in-process tests do).  All public methods are coroutines; they
-    raise :class:`ServiceError` when the server answers ``ok: false``.
+    raise :class:`ServiceError` when the server answers ``ok: false``,
+    :class:`ServiceTimeout` when no answer arrives within the
+    per-request timeout, and :class:`ServiceConnectionError` when the
+    transport dies mid-request.
+
+    :param timeout: default per-request timeout in seconds
+        (:data:`DEFAULT_REQUEST_TIMEOUT`); ``None`` waits forever.
     """
 
     def __init__(
         self,
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
+        timeout: Optional[float] = DEFAULT_REQUEST_TIMEOUT,
     ):
         self._reader = reader
         self._writer = writer
+        self.timeout = timeout
         self._next_id = 0
         self._pending: dict[int, asyncio.Future] = {}
         self._write_lock = asyncio.Lock()
@@ -91,16 +121,30 @@ class ServiceClient:
                     future.set_exception(
                         error
                         if error is not None
-                        else ServiceError("connection closed by server")
+                        else ServiceConnectionError(
+                            "connection closed by server"
+                        )
                     )
             self._pending.clear()
 
-    async def request(self, op: str, **fields) -> dict:
+    async def request(
+        self, op: str, *, timeout: object = _USE_DEFAULT, **fields
+    ) -> dict:
         """Issue one raw request; return the ``ok: true`` payload.
+
+        ``timeout`` (keyword-only, seconds) bounds the wait for the
+        response — it defaults to the client's :attr:`timeout`, and
+        ``None`` waits forever.  No wire field may be named
+        ``timeout``; none is.
 
         :raises ServiceError: when the server rejects the request (the
             message carries the server-side error text and kind).
+        :raises ServiceTimeout: when no response arrives in time — the
+            peer may be dead without having closed the socket; the
+            request's future is abandoned and a late response is
+            discarded.
         """
+        limit = self.timeout if timeout is _USE_DEFAULT else timeout
         self._next_id += 1
         request_id = self._next_id
         future: asyncio.Future = asyncio.get_running_loop().create_future()
@@ -111,7 +155,16 @@ class ServiceClient:
                     encode_frame({"id": request_id, "op": op, **fields})
                 )
                 await self._writer.drain()
-            response = await future
+            if limit is None:
+                response = await future
+            else:
+                try:
+                    response = await asyncio.wait_for(future, limit)
+                except asyncio.TimeoutError:
+                    raise ServiceTimeout(
+                        f"{op!r} request got no response within "
+                        f"{limit:g}s (peer dead or stalled)"
+                    ) from None
         finally:
             self._pending.pop(request_id, None)
         if not response.get("ok"):
@@ -196,14 +249,17 @@ class ServiceClient:
         kwargs: Optional[dict] = None,
         use_batch: bool = True,
         key: Optional[str] = None,
+        timeout: object = _USE_DEFAULT,
     ) -> dict:
         """Run a protocol sweep server-side on a resident network.
 
         Either ``net`` (a resident fingerprint) or ``descriptor`` (the
         pickled-network shape :meth:`repro.service.server.ServiceServer._descriptor_network`
         rebuilds from) must be given; ``key`` enables server-side result
-        caching under the ordinary grid ``point_key``.  Returns ``{"sweep":
-        SweepResult, "net": fingerprint, "cached": bool}``.
+        caching under the ordinary grid ``point_key``; ``timeout``
+        overrides the client's per-request timeout for this (typically
+        long-running) request.  Returns ``{"sweep": SweepResult, "net":
+        fingerprint, "cached": bool}``.
         """
         payload = {
             "net": net,
@@ -216,7 +272,9 @@ class ServiceClient:
             "use_batch": use_batch,
             "key": key,
         }
-        reply = await self.request("sweep", payload=pack_pickle(payload))
+        reply = await self.request(
+            "sweep", timeout=timeout, payload=pack_pickle(payload)
+        )
         return {
             "sweep": unpack_pickle(reply["payload"]),
             "net": reply["net"],

@@ -41,6 +41,27 @@ class ServiceError(RuntimeError):
     connection survives and only the offending request errors."""
 
 
+class ServiceConnectionError(ServiceError, ConnectionError):
+    """The transport failed mid-request (peer closed, reset, EOF).
+
+    Distinct from a plain :class:`ServiceError` so callers can tell a
+    *worker* problem (reconnect / re-dispatch the point elsewhere) from
+    a *request* problem (the server answered and said no); the shard
+    dispatcher (:mod:`repro.distrib.shard`) routes on exactly this
+    split.
+    """
+
+
+class ServiceTimeout(ServiceError):
+    """No response arrived within the per-request timeout.
+
+    The peer may be dead without having closed the socket (host crash,
+    TCP partition) or merely slow; either way the caller gets control
+    back instead of awaiting forever.  The request's future is
+    abandoned — a late response is discarded by the reader loop.
+    """
+
+
 def encode_frame(message: dict) -> bytes:
     """Serialize one message to its wire form (JSON + newline)."""
     return json.dumps(message, separators=(",", ":")).encode() + b"\n"

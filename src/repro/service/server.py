@@ -34,6 +34,7 @@ Supported ops — see :meth:`ServiceServer.handlers`:
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import functools
 import inspect
 import time
@@ -42,6 +43,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro.distrib.leases import DEFAULT_TTL_S, LeaseBoard
 from repro.errors import ReproError
 from repro.fastsim.cache import ResultCache
 from repro.fastsim.sweep import run_sweep
@@ -180,6 +182,11 @@ class ServiceServer:
         against.  Decisions agree with coalesced serving whenever the
         SINR margin exceeds far-field rounding (sub-band, tested), and
         bit for bit whenever the far set is empty.
+    :param lease_ttl: time-to-live of the per-point lease files this
+        daemon takes on keyed ``sweep`` requests (DESIGN.md §9.2; only
+        meaningful with ``cache_dir``).  A lease is refreshed at a
+        third of this while its point computes, so a ttl only ever
+        elapses when the holding daemon died mid-point.
     """
 
     def __init__(
@@ -190,9 +197,15 @@ class ServiceServer:
         window: float = 0.002,
         max_batch: int = 128,
         coalesce: bool = True,
+        lease_ttl: float = DEFAULT_TTL_S,
     ):
         self.pool = pool if pool is not None else NetworkPool()
         self.cache = ResultCache(cache_dir) if cache_dir else None
+        self.leases = (
+            LeaseBoard(self.cache.root, ttl=lease_ttl)
+            if self.cache is not None
+            else None
+        )
         self.window = window
         self.max_batch = max_batch
         self.coalesce = coalesce
@@ -534,6 +547,16 @@ class ServiceServer:
         and because the key is the ordinary
         :func:`repro.fastsim.cache.point_key`, entries are shared with
         CLI grid runs in both directions.
+
+        Keyed points are additionally guarded by a lease file beside
+        their cache entry (DESIGN.md §9.2): before computing, the
+        daemon claims ``<key>.lease``; a point another daemon is
+        already computing is *waited for* and served from the bus when
+        its publish lands, and a lease whose holder died (deadline
+        passed unrefreshed) is stolen and the point re-run.  That is
+        what makes a coordinator's straggler re-dispatch cheap —
+        the second daemon joins the first's work instead of repeating
+        it — while SIGKILLed holders cost at most one lease ttl.
         """
         payload = unpack_pickle(request["payload"])
         fingerprint = payload.get("net")
@@ -550,8 +573,11 @@ class ServiceServer:
             )
             fingerprint, _ = self.pool.add(net)
         key = payload.get("key")
+        leased = key and self.cache is not None and self.leases is not None
         if key and self.cache is not None:
             hit = self.cache.get(key)
+            if hit is None and leased:
+                hit = await self._claim_point(key)
             if hit is not None:
                 sweep, _extras = hit
                 return {
@@ -559,30 +585,77 @@ class ServiceServer:
                     "net": fingerprint,
                     "cached": True,
                 }
-        sweep = await asyncio.to_thread(
-            run_sweep,
-            payload["kind"],
-            net,
-            payload["n_replications"],
-            payload["seed"],
-            payload.get("constants"),
-            use_batch=payload.get("use_batch", True),
-            **payload.get("kwargs", {}),
+        hold = (
+            asyncio.ensure_future(self._hold_lease(key)) if leased else None
         )
-        if key and self.cache is not None:
-            # Extras (post hooks) run client-side in service mode, so the
-            # server can only store an empty extras dict.  That is exact
-            # for hookless points, and the grid client only ships keys
-            # for those (`_run_service` withholds the key when a post
-            # hook exists — its `post_name` is part of the key, so an
-            # empty-extras entry under it would replay as the real
-            # result).
-            self.cache.put(key, (sweep, {}))
+        try:
+            sweep = await asyncio.to_thread(
+                run_sweep,
+                payload["kind"],
+                net,
+                payload["n_replications"],
+                payload["seed"],
+                payload.get("constants"),
+                use_batch=payload.get("use_batch", True),
+                **payload.get("kwargs", {}),
+            )
+            if key and self.cache is not None:
+                # Extras (post hooks) run client-side in service mode, so
+                # the server can only store an empty extras dict.  That is
+                # exact for hookless points, and the grid client only
+                # ships keys for those (`_run_service` withholds the key
+                # when a post hook exists — its `post_name` is part of the
+                # key, so an empty-extras entry under it would replay as
+                # the real result).
+                self.cache.put(key, (sweep, {}))
+        finally:
+            if hold is not None:
+                hold.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await hold
+            if leased:
+                await asyncio.to_thread(self.leases.release, key)
         return {
             "payload": pack_pickle(sweep),
             "net": fingerprint,
             "cached": False,
         }
+
+    async def _claim_point(self, key: str):
+        """Take ``key``'s lease, or wait out its live holder.
+
+        Returns ``None`` once this daemon holds the lease (the caller
+        must compute and release), or the holder's published
+        ``(sweep, extras)`` when waiting paid off.  A holder that dies
+        without publishing is detected by lease expiry — the claim
+        loop then steals the lease and the caller computes after all.
+        """
+        poll = max(0.02, min(1.0, self.leases.ttl / 10.0))
+        while True:
+            if await asyncio.to_thread(self.leases.claim, key):
+                # Claimed — but the previous holder may have published
+                # and released between our cache miss and this claim.
+                hit = await asyncio.to_thread(self.cache.get, key)
+                if hit is None:
+                    return None
+                await asyncio.to_thread(self.leases.release, key)
+                return hit
+            hit = await asyncio.to_thread(self.cache.get, key)
+            if hit is not None:
+                return hit
+            await asyncio.sleep(poll)
+
+    async def _hold_lease(self, key: str) -> None:
+        """Refresh ``key``'s lease while its sweep computes.
+
+        Cancelled by ``_op_sweep`` when the compute finishes; the
+        refresh cadence (a third of the ttl) guarantees a live holder's
+        lease never expires, so steals only ever hit dead daemons.
+        """
+        interval = max(0.02, self.leases.ttl / 3.0)
+        while True:
+            await asyncio.sleep(interval)
+            await asyncio.to_thread(self.leases.refresh, key)
 
     def _descriptor_network(self, descriptor: dict) -> Network:
         """Rebuild a network from a grid client's pickled descriptor.
@@ -628,6 +701,8 @@ class ServiceServer:
                 "hits": self.cache.hits,
                 "misses": self.cache.misses,
             }
+        if self.leases is not None:
+            payload["leases"] = self.leases.stats()
         return payload
 
     async def _op_ping(self, request: dict) -> dict:

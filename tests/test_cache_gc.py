@@ -73,6 +73,64 @@ class TestPrune:
         assert report["evicted"] == 0
 
 
+class TestTmpSweep:
+    """Regression: a crashed ``put`` leaks a ``.{key}.tmp`` that the
+    ``*.pkl`` accounting never saw and nothing ever deleted.  ``prune``
+    now sweeps such debris (and stale ``*.lease`` files) past a grace
+    window."""
+
+    @staticmethod
+    def _debris(tmp_path, name, age_s):
+        path = tmp_path / name
+        path.write_bytes(b"orphan")
+        old = time.time() - age_s
+        os.utime(path, (old, old))
+        return path
+
+    def test_stale_tmp_and_lease_swept(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _fill(cache, ["a"])
+        stale_tmp = self._debris(tmp_path, ".abcd1234.x7.tmp", 7200)
+        stale_lease = self._debris(tmp_path, "deadbeef.lease", 7200)
+        report = cache.prune()
+        assert report["tmp_swept"] == 2
+        assert not stale_tmp.exists() and not stale_lease.exists()
+        assert cache.get("a") is not None  # entries untouched
+
+    def test_fresh_debris_gets_grace(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        fresh_tmp = self._debris(tmp_path, ".abcd1234.x7.tmp", 0)
+        fresh_lease = self._debris(tmp_path, "deadbeef.lease", 0)
+        report = cache.prune()
+        assert report["tmp_swept"] == 0
+        assert fresh_tmp.exists() and fresh_lease.exists()
+        # A tighter grace collects them; None skips the sweep entirely.
+        assert cache.prune(tmp_grace_s=None)["tmp_swept"] == 0
+        report = cache.prune(tmp_grace_s=0.0)
+        assert report["tmp_swept"] == 2
+
+    def test_dry_run_reports_without_deleting(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        stale = self._debris(tmp_path, ".abcd1234.x7.tmp", 7200)
+        report = cache.prune(dry_run=True)
+        assert report["tmp_swept"] == 1
+        assert stale.exists()
+
+    def test_debris_invisible_to_entry_accounting(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _fill(cache, ["a", "b"])
+        self._debris(tmp_path, ".abcd1234.x7.tmp", 7200)
+        assert len(cache) == 2
+        entries, _size = cache.usage()
+        assert entries == 2
+
+    def test_cli_reports_sweep(self, tmp_path, capsys):
+        self._debris(tmp_path, "deadbeef.lease", 7200)
+        assert cache_gc.main(["--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "swept 1 stale tmp/lease file(s)" in out
+
+
 class TestCacheGcCli:
     def test_reports_and_prunes(self, tmp_path, capsys):
         cache = ResultCache(tmp_path)

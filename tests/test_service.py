@@ -39,6 +39,7 @@ from repro.service import (
     ServiceClient,
     ServiceError,
     ServiceServer,
+    ServiceTimeout,
     connect,
 )
 from repro.service.protocol import (
@@ -361,6 +362,69 @@ class TestCoalescedEquivalence:
                 built = await client.build(SPEC)
                 with pytest.raises(ServiceError):
                     await client.sinr(built["net"], [built["n"]])
+
+        asyncio.run(go())
+
+
+# ----------------------------------------------------------------------
+# per-request timeouts (the unbounded-await bug)
+# ----------------------------------------------------------------------
+class _StalledSweepServer(ServiceServer):
+    """Accepts ``sweep`` requests and never answers — the dead-peer
+    shape (host crash, partition) that used to hang clients forever."""
+
+    async def _op_sweep(self, request):
+        await asyncio.sleep(3600)
+
+
+class TestRequestTimeout:
+    def test_stalled_request_raises_service_timeout(self):
+        async def go():
+            server = _StalledSweepServer()
+            await server.start_tcp("127.0.0.1", 0)
+            host, port = server.tcp_address
+            client = await connect(f"tcp:{host}:{port}", timeout=0.2)
+            try:
+                with pytest.raises(ServiceTimeout, match="no response"):
+                    await client.sweep(
+                        "spont_broadcast", 1, 3,
+                        descriptor={}, constants=CONSTANTS,
+                    )
+                # The connection survives an abandoned request: other
+                # (answered) ops still work afterwards.
+                assert await client.ping()
+            finally:
+                await client.aclose()
+                await server.aclose()
+
+        asyncio.run(go())
+
+    def test_per_request_override_beats_client_default(self):
+        async def go():
+            server = _StalledSweepServer()
+            await server.start_tcp("127.0.0.1", 0)
+            host, port = server.tcp_address
+            # Client default would wait 3600s; the per-request override
+            # must win.
+            client = await connect(f"tcp:{host}:{port}", timeout=3600)
+            try:
+                start = asyncio.get_running_loop().time()
+                with pytest.raises(ServiceTimeout):
+                    await client.request("sweep", timeout=0.2, payload="")
+                assert asyncio.get_running_loop().time() - start < 5
+            finally:
+                await client.aclose()
+                await server.aclose()
+
+        asyncio.run(go())
+
+    def test_timeout_none_waits_for_slow_reply(self):
+        # ``timeout=None`` is "wait forever", not "wait zero": a reply
+        # that takes real time must still arrive.
+        async def go():
+            async with _serve() as (_, client):
+                client.timeout = None
+                assert await client.ping()
 
         asyncio.run(go())
 

@@ -28,12 +28,16 @@ if str(REPO_SRC) not in sys.path:
 
 def format_report(report: dict) -> str:
     mode = "would evict" if report["dry_run"] else "evicted"
-    return (
+    line = (
         f"cache {report['root']}: {report['entries']} entries, "
         f"{report['bytes'] / 1e6:.1f} MB; {mode} {report['evicted']} "
         f"LRU entries -> {report['kept_entries']} entries, "
         f"{report['kept_bytes'] / 1e6:.1f} MB"
     )
+    swept = report.get("tmp_swept", 0)
+    if swept:
+        line += f"; swept {swept} stale tmp/lease file(s)"
+    return line
 
 
 def main(argv: "list[str] | None" = None) -> int:

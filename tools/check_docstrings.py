@@ -38,6 +38,7 @@ FLOORS = {
     "repro.deploy.mobility": 100.0,
     "repro.kernels": 100.0,
     "repro.service": 100.0,
+    "repro.distrib": 100.0,
 }
 
 
