@@ -81,6 +81,9 @@ class ShardStats:
     :param recovered: points recovered from the result bus without a
         request (published by another worker/coordinator mid-run).
     :param retried: request attempts beyond each point's first.
+    :param corrupt_replies: replies whose pickle payload failed its
+        checksum (:class:`~repro.service.protocol.ServiceCorruptPayload`)
+        — never consumed; the point was re-dispatched.
     :param dead: addresses declared dead (unreachable after backoff).
     :param leftover: indices the caller must execute locally.
     :param errors: per-index failure messages (worker-side execution
@@ -92,6 +95,7 @@ class ShardStats:
     delivered: int = 0
     recovered: int = 0
     retried: int = 0
+    corrupt_replies: int = 0
     dead: list = field(default_factory=list)
     leftover: list = field(default_factory=list)
     errors: dict = field(default_factory=dict)
@@ -134,6 +138,7 @@ def run_sharded(
     retries: int = 1,
     connect_attempts: int = 3,
     backoff: float = 0.25,
+    journal=None,
 ) -> ShardStats:
     """Execute ``requests`` across the daemons at ``addresses``.
 
@@ -145,6 +150,14 @@ def run_sharded(
     them locally.  Drives its own event loop — must not be called from
     inside one.
 
+    Integrity is checked at both consumption points: the bus-recovery
+    probe goes through :meth:`ResultCache.get`, which quarantines a
+    torn foreign publish and reports a miss (the point is simply
+    dispatched), and a worker reply whose payload checksum fails
+    (:class:`~repro.service.protocol.ServiceCorruptPayload`) is
+    counted, never consumed, and re-dispatched like a transport
+    failure.
+
     :param store: optional :class:`~repro.fastsim.cache.ResultCache`
         re-checked before each dispatch (the bus-recovery path).
     :param request_timeout: per-request timeout in seconds (``None``
@@ -154,13 +167,20 @@ def run_sharded(
         on a worker (server-side error) before it becomes a leftover.
     :param connect_attempts: connection attempts (with exponential
         ``backoff``) before a worker is declared dead.
+    :param journal: optional
+        :class:`~repro.fastsim.journal.SweepJournal`: each keyed
+        point's completion is durably appended *after* ``on_sweep``
+        returns (so the caller's ``store.put`` has landed first).
+        ``run_grid`` does **not** pass this — it journals in its own
+        ``finish`` path, which covers local fallback points too; the
+        parameter is for standalone ``run_sharded`` callers.
     """
     return asyncio.run(
         _run_sharded_async(
             list(requests), list(addresses), on_sweep=on_sweep,
             store=store, request_timeout=request_timeout,
             retries=retries, connect_attempts=connect_attempts,
-            backoff=backoff,
+            backoff=backoff, journal=journal,
         )
     )
 
@@ -175,10 +195,12 @@ async def _run_sharded_async(
     retries,
     connect_attempts,
     backoff,
+    journal=None,
 ) -> ShardStats:
     """The coordinator event loop (see :func:`run_sharded`)."""
     from repro.service.protocol import (
         ServiceConnectionError,
+        ServiceCorruptPayload,
         ServiceError,
         ServiceTimeout,
     )
@@ -196,6 +218,10 @@ async def _run_sharded_async(
         delivered.add(req.index)
         stats.delivered += 1
         on_sweep(req.index, sweep)
+        if journal is not None and req.key is not None:
+            # After on_sweep: the caller's store.put has landed, so
+            # the journaled ⊆ cached invariant holds.
+            journal.append(req.key, {"index": req.index})
 
     async def bus_hit(req: PointRequest):
         """The bus-recovery probe: another worker may have published."""
@@ -257,6 +283,25 @@ async def _run_sharded_async(
                     # authoritative and the re-dispatch cheap.
                     stats.retried += 1
                     requeue(req)
+                except ServiceCorruptPayload as exc:
+                    # The worker answered but the payload bytes are
+                    # damaged (bit-rot, mangled stream, injected
+                    # corruption).  Consuming them is the one
+                    # forbidden outcome; treat it like a transport
+                    # failure — count it, drop the connection (its
+                    # stream state is suspect), re-dispatch the point.
+                    del exc
+                    stats.corrupt_replies += 1
+                    stats.retried += 1
+                    requeue(req)
+                    await client.aclose()
+                    client = await _connect_backoff(
+                        address, request_timeout,
+                        connect_attempts, backoff,
+                    )
+                    if client is None:
+                        stats.dead.append(f"{address} (corrupt replies)")
+                        return
                 except (
                     ServiceConnectionError, ConnectionError, OSError
                 ) as exc:

@@ -48,7 +48,20 @@ def main(argv: list[str] | None = None) -> int:
              "until the cache directory is at most MB megabytes "
              "(tools/cache_gc.py is the standalone form)",
     )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted run from its per-sweep journal "
+             "(<sweep_key>.journal beside the cache entries): "
+             "journaled points replay from cache, only unjournaled "
+             "points recompute — bitwise identical to an "
+             "uninterrupted run",
+    )
     args = parser.parse_args(argv)
+    if args.resume and args.no_cache:
+        parser.error(
+            "--resume needs the cache (the journal lives beside it); "
+            "drop --no-cache"
+        )
 
     from repro.fastsim.grid import (
         GridOptions,
@@ -60,6 +73,7 @@ def main(argv: list[str] | None = None) -> int:
         GridOptions(
             jobs=args.jobs,
             cache_dir=None if args.no_cache else args.cache_dir,
+            resume=args.resume,
         )
     )
 
@@ -82,6 +96,11 @@ def main(argv: list[str] | None = None) -> int:
             timing += (
                 f"; {stats['cached']}/{stats['points']} grid points "
                 f"from cache, --no-cache to recompute"
+            )
+        if args.resume and stats.get("journal_replays"):
+            timing += (
+                f"; resumed: {stats['journal_replays']} journaled "
+                f"points skipped"
             )
         print(timing + ")\n")
     if args.cache_prune is not None:

@@ -26,11 +26,18 @@ simulation code, pass ``--no-cache`` or clear the directory.  Bump
 :data:`CACHE_SCHEMA_VERSION` when the stored payload layout changes.
 
 Storage is one pickle file per key, written atomically (temp file +
-``os.replace``) so a crashed run never leaves a truncated entry a later
-run would trip over; unreadable entries degrade to misses, and temp
-files orphaned by a crash (plus stale ``*.lease`` markers from
-:mod:`repro.distrib.leases`) are swept by :meth:`ResultCache.prune`
-after a grace window.
+fsync + ``os.replace``) so a crashed run never leaves a truncated entry
+a later run would trip over.  Every entry additionally carries a
+**content checksum header** (:data:`ENTRY_MAGIC` + SHA-256 of the
+payload bytes): :meth:`ResultCache.get` verifies it end-to-end, so a
+torn, truncated or bit-flipped entry — however it got that way — is
+detected, moved aside as ``<key>.quarantine`` for inspection, and
+served as a *miss*; never a crash, and never a silently wrong replay
+(DESIGN.md §10.2).  ``tools/cache_gc.py --verify`` runs the same check
+over a whole directory for fleet cron jobs.  Temp files orphaned by a
+crash (plus stale ``*.lease`` markers from :mod:`repro.distrib.leases`
+and aged ``*.quarantine`` files) are swept by
+:meth:`ResultCache.prune` after a grace window.
 
 That atomicity is also what lets many *hosts* treat one cache directory
 as a **result bus** (DESIGN.md §9): concurrent ``put`` calls for the
@@ -50,6 +57,7 @@ pinned down in ``tests/test_service.py``.
 from __future__ import annotations
 
 import dataclasses
+import errno
 import hashlib
 import os
 import pickle
@@ -60,16 +68,41 @@ from typing import Optional
 
 import numpy as np
 
+from repro import faults
+
 #: Bump when the stored payload layout changes; old entries become
 #: unaddressable rather than mis-read.
 CACHE_SCHEMA_VERSION = 1
 
 #: Age (seconds since last mtime) past which :meth:`ResultCache.prune`
-#: sweeps orphaned write temporaries (``.*.tmp``) and lease files
-#: (``*.lease``).  Generous: a live writer finishes its ``os.replace``
-#: in milliseconds and a live lease holder refreshes its file every few
-#: seconds, so anything this old belongs to a crashed process.
+#: sweeps orphaned write temporaries (``.*.tmp``), lease files
+#: (``*.lease``) and quarantined entries (``*.quarantine``).  Generous:
+#: a live writer finishes its ``os.replace`` in milliseconds and a live
+#: lease holder refreshes its file every few seconds, so anything this
+#: old belongs to a crashed process.
 TMP_GRACE_S = 3600.0
+
+#: Leading bytes of a checksummed cache entry: the magic, one space,
+#: 64 hex chars of SHA-256 over the payload, one newline, then the
+#: pickled payload.  Files without the magic are legacy (pre-checksum)
+#: entries and load unverified.
+ENTRY_MAGIC = b"repro-cache-v2"
+
+#: Clock-skew tolerance for mtime-based decisions in
+#: :meth:`ResultCache.prune`.  An mtime further in the future than this
+#: cannot come from a live writer on any sanely synchronized host: the
+#: entry's recency is unknowable, so it ranks *oldest* for LRU (the
+#: safe direction — entries are recomputable, and treating skew as
+#: freshness would pin the entry forever), and debris so dated is
+#: sweepable immediately.
+CLOCK_SKEW_TOLERANCE_S = 900.0
+
+#: Suffix of quarantined entries: a ``<key>.pkl`` whose checksum or
+#: unpickling failed is atomically renamed ``<key>.quarantine`` — out
+#: of the addressable namespace (the next ``get`` is a clean miss and
+#: the recompute's ``put`` does not resurrect it), kept on disk for
+#: inspection until :meth:`ResultCache.prune` ages it out.
+QUARANTINE_SUFFIX = ".quarantine"
 
 
 def fingerprint_bytes(obj) -> bytes:
@@ -166,6 +199,24 @@ def point_key(
     )
 
 
+def _flip_byte_on_disk(path: Path) -> None:
+    """Invert the last byte of ``path`` in place (chaos helper).
+
+    Implements the ``cache.get.corrupt`` site: bit-rot injected just
+    before a read, so the reader's checksum pass — not the writer's
+    good intentions — is what the test exercises.  Missing files are
+    ignored (the site may fire on a miss).
+    """
+    try:
+        with open(path, "r+b") as handle:
+            handle.seek(-1, os.SEEK_END)
+            byte = handle.read(1)
+            handle.seek(-1, os.SEEK_END)
+            handle.write(bytes((byte[0] ^ 0xFF,)))
+    except (OSError, IndexError):
+        pass
+
+
 class ResultCache:
     """One directory of content-addressed grid-point results.
 
@@ -187,22 +238,79 @@ class ResultCache:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.pkl"
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry out of the addressable namespace.
+
+        Atomic rename to ``<key>.quarantine``: concurrent readers see
+        either the (corrupt) entry — and quarantine it themselves, the
+        second rename failing harmlessly — or a clean miss.  The file
+        is preserved for inspection (``tools/cache_gc.py --verify``
+        reports it) and aged out by :meth:`prune`.
+        """
+        target = path.with_suffix(QUARANTINE_SUFFIX)
+        try:
+            os.replace(path, target)
+        except OSError:
+            return
+        self.quarantined += 1
+
+    @staticmethod
+    def _decode(data: bytes):
+        """Verify and unpickle one entry's raw bytes.
+
+        :raises ValueError: on a checksum mismatch (torn / truncated /
+            bit-flipped entry) or a malformed header.
+        :raises pickle.UnpicklingError: (and friends) when the payload
+            does not unpickle — legacy entries have no checksum to
+            catch corruption first.
+        """
+        if data.startswith(ENTRY_MAGIC):
+            header_end = data.index(b"\n", 0, len(ENTRY_MAGIC) + 80)
+            stored = data[len(ENTRY_MAGIC) + 1:header_end]
+            body = memoryview(data)[header_end + 1:]
+            actual = hashlib.sha256(body).hexdigest().encode("ascii")
+            if actual != stored:
+                raise ValueError(
+                    f"checksum mismatch: header {stored!r:.74}, "
+                    f"payload {actual!r}"
+                )
+            return pickle.loads(body)
+        # Legacy (pre-checksum) entry: plain pickle, loaded unverified.
+        return pickle.loads(data)
+
     def get(self, key: str) -> Optional[tuple]:
         """Stored ``(sweep, extras)`` payload, or ``None`` on a miss.
 
-        Corrupt or unreadable entries count as misses — the caller
-        recomputes and overwrites them.
+        Integrity is verified end-to-end: the payload's SHA-256 must
+        match the entry's header.  A torn, truncated or bit-flipped
+        entry — or one whose pickle does not load — is **quarantined**
+        (renamed ``<key>.quarantine``, counted in :attr:`quarantined`)
+        and served as a miss, so the caller recomputes; corruption can
+        never crash a sweep or replay as a wrong result.  This is also
+        the contract the distributed result bus leans on: a shard
+        coordinator's bus-recovery probe goes through this method, so a
+        foreign daemon's torn publish degrades to a re-dispatch, never
+        a consumed corruption (DESIGN.md §10.2).
         """
         path = self._path(key)
+        if faults.maybe_fire("cache.get.corrupt") is not None:
+            _flip_byte_on_disk(path)
         try:
-            with open(path, "rb") as handle:
-                payload = pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError):
+            data = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            payload = self._decode(data)
+        except (ValueError, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError, IndexError, KeyError,
+                MemoryError):
+            self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
@@ -216,14 +324,39 @@ class ResultCache:
         return payload
 
     def put(self, key: str, payload: tuple) -> None:
-        """Atomically store ``(sweep, extras)`` under ``key``."""
+        """Atomically store ``(sweep, extras)`` under ``key``.
+
+        The payload is pickled once, its SHA-256 recorded in the entry
+        header, and the bytes fsynced before the atomic ``os.replace``
+        — a host crash leaves either no entry or a complete, verified
+        one, and anything in between (torn by a dying kernel, truncated
+        by ``ENOSPC`` cleanup) fails :meth:`get`'s checksum and is
+        quarantined rather than replayed.
+        """
         self.root.mkdir(parents=True, exist_ok=True)
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        if faults.maybe_fire("cache.put.enospc") is not None:
+            raise OSError(
+                errno.ENOSPC, "injected ENOSPC (chaos plan)",
+                str(self._path(key)),
+            )
+        header = (
+            ENTRY_MAGIC + b" "
+            + hashlib.sha256(blob).hexdigest().encode("ascii") + b"\n"
+        )
+        if faults.maybe_fire("cache.put.torn") is not None:
+            # A write cut mid-payload: the header promises the full
+            # blob, the body stops halfway — get() must quarantine it.
+            blob = blob[: max(1, len(blob) // 2)]
         fd, tmp = tempfile.mkstemp(
             dir=self.root, prefix=f".{key[:16]}.", suffix=".tmp"
         )
         try:
             with os.fdopen(fd, "wb") as handle:
-                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.write(header)
+                handle.write(blob)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, self._path(key))
         except BaseException:
             try:
@@ -249,6 +382,53 @@ class ResultCache:
                 entries += 1
         return entries, size
 
+    def verify(self) -> dict:
+        """Integrity scan of every stored entry, without side effects.
+
+        Reads each ``*.pkl`` and checks its checksum header (legacy
+        pre-checksum entries are counted separately — they carry no
+        checksum to verify), and counts quarantined files already on
+        disk.  Nothing is renamed, deleted or recomputed: this is the
+        read-only audit behind ``tools/cache_gc.py --verify``, safe to
+        run against a cache a fleet is actively using.
+
+        :returns: report dict with ``entries``, ``verified``,
+            ``legacy`` (unverifiable pre-checksum entries), ``corrupt``
+            (checksum or unpickle failures, with the offending keys in
+            ``corrupt_keys``) and ``quarantined`` (files a previous
+            reader already pulled from the namespace).
+        """
+        entries = verified = legacy = 0
+        corrupt_keys = []
+        quarantined = 0
+        if self.root.is_dir():
+            for path in sorted(self.root.glob("*.pkl")):
+                entries += 1
+                try:
+                    data = path.read_bytes()
+                    self._decode(data)
+                except (OSError, ValueError, pickle.UnpicklingError,
+                        EOFError, AttributeError, ImportError,
+                        IndexError, KeyError, MemoryError):
+                    corrupt_keys.append(path.stem)
+                    continue
+                if data.startswith(ENTRY_MAGIC):
+                    verified += 1
+                else:
+                    legacy += 1
+            quarantined = sum(
+                1 for _ in self.root.glob(f"*{QUARANTINE_SUFFIX}")
+            )
+        return {
+            "root": str(self.root),
+            "entries": entries,
+            "verified": verified,
+            "legacy": legacy,
+            "corrupt": len(corrupt_keys),
+            "corrupt_keys": corrupt_keys,
+            "quarantined": quarantined,
+        }
+
     def prune(
         self,
         max_bytes: Optional[int] = None,
@@ -265,14 +445,25 @@ class ResultCache:
         oldest entries go first.  Nothing is evicted when no budget is
         given (pure report).
 
+        Mtimes are advisory, not trusted: an entry dated more than
+        :data:`CLOCK_SKEW_TOLERANCE_S` into the future (written through
+        a skewed NFS client, a container with a broken clock, a badly
+        restored backup) ranks *oldest*, not freshest — otherwise one
+        skewed writer would pin its entries in the cache forever while
+        honestly-dated neighbours are evicted around them.  Eviction is
+        the safe direction: entries are recomputable by construction.
+
         Every call additionally sweeps the directory's *debris*: write
         temporaries (``.*.tmp`` — a :meth:`put` killed between
         ``mkstemp`` and ``os.replace`` leaks one, invisible to the
-        ``*.pkl`` accounting) and lease files (``*.lease``, left by
-        SIGKILLed workers — :mod:`repro.distrib.leases`) whose mtime is
-        older than ``tmp_grace_s``.  Live writers and lease holders
-        touch their files far more often than the grace window, so the
-        sweep only ever collects orphans.
+        ``*.pkl`` accounting), lease files (``*.lease``, left by
+        SIGKILLed workers — :mod:`repro.distrib.leases`) and
+        quarantined entries (``*.quarantine``, preserved long enough to
+        inspect) whose mtime is older than ``tmp_grace_s`` **or**
+        beyond the future-skew tolerance (far-future debris would
+        otherwise never age into the horizon).  Live writers and lease
+        holders touch their files far more often than the grace window,
+        so the sweep only ever collects orphans.
 
         :param max_bytes: target total payload size.
         :param max_entries: target entry count.
@@ -280,39 +471,59 @@ class ResultCache:
         :param tmp_grace_s: minimum age of swept debris files (pass
             ``None`` to skip the sweep entirely).
         :returns: report dict with ``entries``/``bytes`` before and
-            after, the number of entries (to be) ``evicted``, and the
-            number of debris files (to be) swept as ``tmp_swept``.
+            after, the number of entries (to be) ``evicted``, the
+            number of debris files (to be) swept as ``tmp_swept``, and
+            the number of quarantined files present before the sweep
+            as ``quarantined``.
         """
+        now = time.time()
+        skew_horizon = now + CLOCK_SKEW_TOLERANCE_S
+
+        def lru_rank(mtime: float) -> float:
+            # Future-skewed entries rank before (older than) everything
+            # honestly dated; among themselves, most-skewed goes first.
+            if mtime > skew_horizon:
+                return skew_horizon - mtime  # negative, monotone in skew
+            return mtime
+
         records = []
         debris = []
+        quarantined = 0
         if self.root.is_dir():
             for path in self.root.glob("*.pkl"):
                 try:
                     stat = path.stat()
                 except OSError:
                     continue
-                records.append((stat.st_mtime, stat.st_size, path))
+                records.append(
+                    (lru_rank(stat.st_mtime), stat.st_size, path)
+                )
+            quarantined = sum(
+                1 for _ in self.root.glob(f"*{QUARANTINE_SUFFIX}")
+            )
             if tmp_grace_s is not None:
-                horizon = time.time() - tmp_grace_s
-                for pattern in (".*.tmp", "*.lease"):
+                horizon = now - tmp_grace_s
+                patterns = (".*.tmp", "*.lease", f"*{QUARANTINE_SUFFIX}")
+                for pattern in patterns:
                     for path in self.root.glob(pattern):
                         try:
-                            if path.stat().st_mtime <= horizon:
-                                debris.append(path)
+                            mtime = path.stat().st_mtime
                         except OSError:
                             continue
+                        if mtime <= horizon or mtime > skew_horizon:
+                            debris.append(path)
         if not dry_run:
             for path in debris:
                 try:
                     path.unlink()
                 except OSError:
                     pass
-        records.sort()  # oldest mtime first
+        records.sort()  # oldest effective mtime first
         total_entries = len(records)
         total_bytes = sum(size for _, size, _ in records)
         keep_entries, keep_bytes = total_entries, total_bytes
         evict = []
-        for mtime, size, path in records:
+        for _rank, size, path in records:
             over_bytes = max_bytes is not None and keep_bytes > max_bytes
             over_entries = (
                 max_entries is not None and keep_entries > max_entries
@@ -336,5 +547,6 @@ class ResultCache:
             "kept_entries": keep_entries,
             "kept_bytes": keep_bytes,
             "tmp_swept": len(debris),
+            "quarantined": quarantined,
             "dry_run": dry_run,
         }

@@ -68,7 +68,10 @@ the speedup and asserts parallel/serial result identity.
 
 from __future__ import annotations
 
+import contextlib
 import os
+import signal
+import threading
 import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
@@ -81,6 +84,7 @@ import numpy as np
 from repro.core.constants import ProtocolConstants
 from repro.errors import ProtocolError
 from repro.fastsim.cache import ResultCache, point_key
+from repro.fastsim.journal import SweepJournal, sweep_key
 from repro.fastsim.sweep import SweepResult, run_sweep
 from repro.network.network import Network
 from repro.sinr.sparse import SparseGainBackend
@@ -187,6 +191,9 @@ class GridOptions:
     :param request_timeout: per-request timeout in seconds for
         service/worker dispatch (``None`` = the client default,
         :data:`repro.service.client.DEFAULT_REQUEST_TIMEOUT`).
+    :param resume: pick up an interrupted sweep from its journal
+        (``<sweep_key>.journal`` in the cache dir, DESIGN.md §10.1)
+        instead of starting a fresh one; the CLI's ``--resume``.
     """
 
     jobs: int = 1
@@ -194,6 +201,7 @@ class GridOptions:
     service: Optional[str] = None
     workers: Optional[list] = None
     request_timeout: Optional[float] = None
+    resume: bool = False
 
 
 _DEFAULT_OPTIONS = GridOptions()
@@ -468,6 +476,7 @@ def run_grid(
     service: Optional[str] = None,
     workers: Optional[Sequence[str]] = None,
     request_timeout: Optional[float] = None,
+    resume: Optional[bool] = None,
 ) -> list[GridPointResult]:
     """Execute a :class:`GridSpec`; results in point order.
 
@@ -488,6 +497,20 @@ def run_grid(
     outlive every worker fall back to the local pool transparently.
     Both paths drive their own asyncio event loop, so they must not be
     called from inside one.
+
+    **Crash safety** (DESIGN.md §10.1): with a cache configured, every
+    completed point is durably appended to a per-sweep journal
+    (``<sweep_key>.journal`` beside the cache entries) before the run
+    moves on, and the journal is removed on a clean finish.  A
+    coordinator killed mid-sweep — SIGKILL, OOM, a dropped SSH session
+    — reruns with ``resume=True`` (CLI ``--resume``): journaled points
+    replay from the cache, only unjournaled points are recomputed, and
+    the final results are bitwise identical to an uninterrupted run
+    (seeds were fixed at preparation time either way).  SIGTERM is
+    converted to ``KeyboardInterrupt`` for the duration of the run, so
+    both interrupt signals drain gracefully: completed points are
+    already journaled, shared-memory segments are unlinked, and worker
+    processes are reaped on the way out.
     """
     options = get_default_grid_options()
     jobs = options.jobs if jobs is None else jobs
@@ -499,6 +522,7 @@ def run_grid(
         if request_timeout is None
         else request_timeout
     )
+    resume = options.resume if resume is None else resume
     use_cache = (cache_dir is not None) if cache is None else (
         cache and cache_dir is not None
     )
@@ -506,8 +530,33 @@ def run_grid(
     prepared, deployments = _prepare(spec)
     store = ResultCache(cache_dir) if use_cache else None
 
+    journal: Optional[SweepJournal] = None
+    journaled_before: dict = {}
+    if store is not None:
+        journal = SweepJournal(
+            store.root,
+            sweep_key(spec.name, spec.seed, [p.key for p in prepared]),
+        )
+        if resume:
+            journaled_before = journal.load()
+        elif journal.exists():
+            # A fresh (non-resume) run of a sweep whose journal
+            # survived: stale bookkeeping from an interrupted run the
+            # caller chose not to resume.  Start over cleanly — the
+            # cache still deduplicates whatever completed.
+            journal.complete()
+    elif resume:
+        warnings.warn(
+            f"grid {spec.name!r}: resume=True without a cache "
+            "directory has nothing to resume from (the journal lives "
+            "beside the cache); running fresh",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+
     results: list[Optional[GridPointResult]] = [None] * len(prepared)
     pending: list[int] = []
+    journal_replays = 0
     for i, prep in enumerate(prepared):
         hit = store.get(prep.key) if store is not None else None
         if hit is not None:
@@ -519,12 +568,17 @@ def run_grid(
                 extras=extras,
                 cached=True,
             )
+            if prep.key in journaled_before:
+                journal_replays += 1
         else:
             pending.append(i)
+
+    journal_appends = 0
 
     def finish(i: int, sweep: SweepResult, extras: dict) -> None:
         # Called per point as it completes (both paths), so an interrupt
         # or a failing later point never discards cached work.
+        nonlocal journal_appends
         prep = prepared[i]
         results[i] = GridPointResult(
             point=prep.point,
@@ -534,51 +588,109 @@ def run_grid(
             cached=False,
         )
         if store is not None:
-            store.put(prep.key, (sweep, extras))
+            try:
+                store.put(prep.key, (sweep, extras))
+            except OSError:
+                # A full disk must not kill the sweep: the result is
+                # in memory and the run proceeds — only the replay
+                # (and this point's journal entry, which would
+                # otherwise promise a cache entry that isn't there)
+                # is lost.
+                return
+            if journal is not None:
+                journal.append(prep.key)
+                journal_appends += 1
 
     n_uncached = len(pending)
     addresses = list(workers) if workers else (
         [service] if service is not None else []
     )
-    if pending and addresses:
-        # Remote dispatch never raises on point failures: whatever
-        # could not be completed remotely comes back and runs locally.
-        pending = _run_service(
-            prepared, pending, addresses, on_result=finish,
-            store=store, request_timeout=request_timeout,
-            grid_name=spec.name,
-        )
-    if pending:
-        local_jobs = max(1, min(jobs, len(pending)))
-        if local_jobs > 1 and not _fork_available():
-            warnings.warn(
-                f"grid {spec.name!r}: jobs={jobs} requested but the "
-                "'fork' start method is unavailable on this platform; "
-                "running points in-process",
-                RuntimeWarning,
-                stacklevel=2,
+    with _interruptible_sigterm():
+        if pending and addresses:
+            # Remote dispatch never raises on point failures: whatever
+            # could not be completed remotely comes back and runs
+            # locally.
+            pending = _run_service(
+                prepared, pending, addresses, on_result=finish,
+                store=store, request_timeout=request_timeout,
+                grid_name=spec.name,
             )
-        if local_jobs > 1 and _fork_available():
-            _run_parallel(
-                prepared, deployments, pending, local_jobs,
-                on_result=finish,
-            )
-        else:
-            for i in pending:
-                finish(i, *_execute(prepared[i], prepared[i].network))
+        if pending:
+            local_jobs = max(1, min(jobs, len(pending)))
+            if local_jobs > 1 and not _fork_available():
+                warnings.warn(
+                    f"grid {spec.name!r}: jobs={jobs} requested but the "
+                    "'fork' start method is unavailable on this "
+                    "platform; running points in-process",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            if local_jobs > 1 and _fork_available():
+                _run_parallel(
+                    prepared, deployments, pending, local_jobs,
+                    on_result=finish,
+                )
+            else:
+                for i in pending:
+                    finish(i, *_execute(prepared[i], prepared[i].network))
+    if journal is not None:
+        # Clean finish: the journal's job is done.  Any earlier exit
+        # (exception, interrupt, SIGKILL) leaves it on disk for
+        # resume=True to find.
+        journal.complete()
     _LAST_RUN_STATS.update(
         name=spec.name,
         points=len(prepared),
         cached=len(prepared) - n_uncached,
+        journaled=journal_appends,
+        journal_replays=journal_replays,
     )
     return results  # type: ignore[return-value]
+
+
+@contextlib.contextmanager
+def _interruptible_sigterm():
+    """Convert SIGTERM to ``KeyboardInterrupt`` for the block.
+
+    A polite kill (``kill <pid>``, a job scheduler's preemption notice)
+    then drains exactly like Ctrl-C: the fork pool is torn down with
+    its shared-memory segments unlinked, completed points stay
+    journaled and cached, and the process exits by exception instead of
+    vanishing mid-write.  Only effective on the main thread (signal
+    handlers cannot be installed elsewhere — grids run from worker
+    threads keep the process default); the previous handler is restored
+    on exit either way.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+    previous = signal.getsignal(signal.SIGTERM)
+
+    def _raise_interrupt(signum, frame):
+        raise KeyboardInterrupt("SIGTERM")
+
+    try:
+        signal.signal(signal.SIGTERM, _raise_interrupt)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        yield
+        return
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
 
 
 #: Filled after every :func:`run_grid` call; the CLI reads it to surface
 #: how much of an experiment was replayed from cache (a replay of *every*
 #: point after a code change means the cache is masking the change — see
-#: the staleness note in :mod:`repro.fastsim.cache`).
-_LAST_RUN_STATS: dict = {"name": "", "points": 0, "cached": 0}
+#: the staleness note in :mod:`repro.fastsim.cache`) plus the crash-safety
+#: accounting: ``journaled`` (points durably recorded this run) and
+#: ``journal_replays`` (points a ``resume=True`` run skipped because the
+#: interrupted run had journaled them).
+_LAST_RUN_STATS: dict = {
+    "name": "", "points": 0, "cached": 0,
+    "journaled": 0, "journal_replays": 0,
+}
 
 
 def last_grid_stats() -> dict:
@@ -603,7 +715,14 @@ def _run_parallel(
     Shared-memory lifetime: every needed deployment's segment exists
     before the first task is submitted and is closed + unlinked in the
     ``finally`` after the pool has shut down — workers only ever attach
-    to live segments, and nothing keeps a mapping after the run.
+    to live segments, and nothing keeps a mapping after the run.  The
+    teardown is interrupt-proof: on ``KeyboardInterrupt`` (or any other
+    exception) the pool is shut down *without* waiting for in-flight
+    points — queued work cancelled, worker processes terminated — and
+    every segment's close/unlink runs independently, so one failing
+    unlink cannot leak its siblings (the PR 9 shm-leak satellite;
+    ``tests/test_chaos.py`` interrupts a live grid and asserts nothing
+    survives in ``/dev/shm``).
     """
     global _FORK_PAYLOAD
     needed = sorted({prepared[i].dep_index for i in pending})
@@ -615,18 +734,34 @@ def _run_parallel(
             segments[dep] = shm
             descriptors[dep] = descriptor
         _FORK_PAYLOAD = (list(prepared), descriptors)
-        with ProcessPoolExecutor(
+        pool = ProcessPoolExecutor(
             max_workers=workers, mp_context=get_context("fork")
-        ) as pool:
+        )
+        try:
             futures = [pool.submit(_worker_run, i) for i in pending]
             for future in as_completed(futures):
                 on_result(*future.result())
+        except BaseException:
+            # Interrupt/failure: don't wait out in-flight points (the
+            # `with` form would block on them) — cancel the queue and
+            # terminate the workers so the finally below can unlink
+            # segments promptly.
+            # Snapshot the worker handles first: shutdown() nulls the
+            # executor's process table.
+            procs = list((getattr(pool, "_processes", None) or {}).values())
+            pool.shutdown(wait=False, cancel_futures=True)
+            for proc in procs:
+                with contextlib.suppress(Exception):
+                    proc.terminate()
+            raise
+        else:
+            pool.shutdown(wait=True)
     finally:
         _FORK_PAYLOAD = None
         for shm in segments.values():
-            try:
+            with contextlib.suppress(Exception):
                 shm.close()
-            finally:
+            with contextlib.suppress(Exception):
                 shm.unlink()
 
 

@@ -31,6 +31,7 @@ from repro.service.coalescer import BatchCoalescer, CoalescerStats
 from repro.service.pool import NetworkPool
 from repro.service.protocol import (
     ServiceConnectionError,
+    ServiceCorruptPayload,
     ServiceError,
     ServiceTimeout,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "NetworkPool",
     "ServiceClient",
     "ServiceConnectionError",
+    "ServiceCorruptPayload",
     "ServiceError",
     "ServiceServer",
     "ServiceTimeout",

@@ -76,6 +76,12 @@ def _parse_args(argv=None) -> argparse.Namespace:
         "--max-networks", type=int, default=None, metavar="N",
         help="cap on resident networks (default: bytes budget only)",
     )
+    parser.add_argument(
+        "--fault-plan", metavar="PLAN.json",
+        help="install a repro.faults.FaultPlan from a JSON file "
+        "(chaos testing only; equivalent to the REPRO_FAULT_PLAN "
+        "environment variable)",
+    )
     args = parser.parse_args(argv)
     if not args.unix and not args.tcp:
         parser.error("need at least one listener: --unix and/or --tcp")
@@ -83,6 +89,10 @@ def _parse_args(argv=None) -> argparse.Namespace:
 
 
 async def _serve(args: argparse.Namespace) -> None:
+    if args.fault_plan:
+        from repro import faults
+
+        faults.install(faults.FaultPlan.load(args.fault_plan))
     budget = (
         int(args.memory_budget * 1e9)
         if args.memory_budget is not None

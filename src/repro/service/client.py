@@ -20,6 +20,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro import faults
 from repro.service.protocol import (
     ServiceConnectionError,
     ServiceError,
@@ -145,6 +146,14 @@ class ServiceClient:
             discarded.
         """
         limit = self.timeout if timeout is _USE_DEFAULT else timeout
+        if faults.maybe_fire("client.send.drop") is not None:
+            # Chaos site: the connection dies before the request is
+            # written — the caller sees the same error a mid-send RST
+            # produces and must re-dispatch (DESIGN.md §10.3).
+            self._writer.close()
+            raise ServiceConnectionError(
+                "injected client-side connection drop (chaos plan)"
+            )
         self._next_id += 1
         request_id = self._next_id
         future: asyncio.Future = asyncio.get_running_loop().create_future()

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import asyncio
 import base64
+import hashlib
 import json
 import pickle
 from typing import Optional
@@ -62,6 +63,18 @@ class ServiceTimeout(ServiceError):
     """
 
 
+class ServiceCorruptPayload(ServiceError):
+    """A pickle payload failed its integrity check.
+
+    The frame parsed as JSON but the embedded payload's SHA-256 did not
+    match its header (bit-rot, a proxy mangling bytes, an injected
+    ``service.reply.corrupt`` fault) or it would not unpickle.  Never
+    the caller's fault and never safe to consume: the shard dispatcher
+    treats it like a transport failure — drop the connection, requeue
+    the point — rather than a server-side rejection (DESIGN.md §10.3).
+    """
+
+
 def encode_frame(message: dict) -> bytes:
     """Serialize one message to its wire form (JSON + newline)."""
     return json.dumps(message, separators=(",", ":")).encode() + b"\n"
@@ -97,16 +110,52 @@ async def read_frame(reader: asyncio.StreamReader) -> Optional[dict]:
 
 
 def pack_pickle(obj) -> str:
-    """Base64-encoded pickle of ``obj`` for embedding in a JSON frame."""
-    return base64.b64encode(
-        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-    ).decode("ascii")
+    """Checksummed, base64-encoded pickle of ``obj`` for embedding in a
+    JSON frame.
+
+    Wire form is ``"<sha256 hex>:<base64>"`` — ``:`` is not in the
+    base64 alphabet, so legacy checksum-less payloads (bare base64,
+    pre-PR 9 peers) remain distinguishable and are accepted unverified
+    by :func:`unpack_pickle`.  The digest covers the raw pickle bytes,
+    end to end: whatever mangles the payload between the two calls —
+    kernel, proxy, cosmic ray, chaos plan — is caught at the consumer.
+    """
+    blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    return (
+        hashlib.sha256(blob).hexdigest()
+        + ":"
+        + base64.b64encode(blob).decode("ascii")
+    )
 
 
 def unpack_pickle(payload: str):
     """Inverse of :func:`pack_pickle`.  Trusted input only — see the
-    module docstring's threat model."""
-    return pickle.loads(base64.b64decode(payload.encode("ascii")))
+    module docstring's threat model.
+
+    :raises ServiceCorruptPayload: when the checksum header disagrees
+        with the payload bytes, or the payload does not decode /
+        unpickle — the bytes are damaged and must not be consumed.
+    """
+    digest, sep, body = payload.partition(":")
+    try:
+        if sep:
+            blob = base64.b64decode(body.encode("ascii"))
+            actual = hashlib.sha256(blob).hexdigest()
+            if actual != digest:
+                raise ServiceCorruptPayload(
+                    f"payload checksum mismatch: header {digest:.16}…, "
+                    f"payload {actual:.16}…"
+                )
+        else:
+            # Legacy peer: bare base64, nothing to verify against.
+            blob = base64.b64decode(payload.encode("ascii"))
+        return pickle.loads(blob)
+    except ServiceCorruptPayload:
+        raise
+    except Exception as exc:
+        raise ServiceCorruptPayload(
+            f"payload would not decode: {exc}"
+        ) from exc
 
 
 def error_response(request_id, exc: BaseException) -> dict:

@@ -43,6 +43,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro import faults
 from repro.distrib.leases import DEFAULT_TTL_S, LeaseBoard
 from repro.errors import ReproError
 from repro.fastsim.cache import ResultCache
@@ -220,6 +221,9 @@ class ServiceServer:
         self._shutdown = asyncio.Event()
         self._started = time.time()
         self.requests_served = 0
+        #: ``sweep`` results whose cache publish failed (ENOSPC, bad
+        #: disk) — served anyway; surfaced in ``stats`` for alerting.
+        self.put_failures = 0
         #: (host, port) of the TCP listener once bound (port 0 resolves).
         self.tcp_address: Optional[tuple[str, int]] = None
         #: Path of the unix listener once bound.
@@ -301,6 +305,23 @@ class ServiceServer:
 
         async def serve_one(request: dict) -> None:
             response = await self._dispatch(request)
+            # Chaos sites on the reply path (no-ops without a plan):
+            # drop the connection instead of answering, stall the
+            # reply past the client's timeout, or mangle a pickle
+            # payload so the client-side checksum must reject it.
+            if faults.maybe_fire("service.conn.drop") is not None:
+                writer.close()
+                return
+            stall = faults.maybe_fire("service.reply.stall")
+            if stall is not None:
+                await asyncio.sleep(stall.delay_s)
+            if "payload" in response and (
+                faults.maybe_fire("service.reply.corrupt") is not None
+            ):
+                response = dict(response)
+                response["payload"] = _mangle_payload(
+                    response["payload"]
+                )
             await respond(response)
 
         try:
@@ -558,6 +579,8 @@ class ServiceServer:
         the second daemon joins the first's work instead of repeating
         it — while SIGKILLed holders cost at most one lease ttl.
         """
+        if faults.maybe_fire("service.sweep.error") is not None:
+            raise ServiceError("injected sweep failure (chaos plan)")
         payload = unpack_pickle(request["payload"])
         fingerprint = payload.get("net")
         net = self.pool.get(fingerprint) if fingerprint else None
@@ -607,7 +630,13 @@ class ServiceServer:
                 # when a post hook exists — its `post_name` is part of the
                 # key, so an empty-extras entry under it would replay as
                 # the real result).
-                self.cache.put(key, (sweep, {}))
+                try:
+                    self.cache.put(key, (sweep, {}))
+                except OSError:
+                    # A full or failing cache disk (ENOSPC) must not
+                    # fail the request — the result is in hand and goes
+                    # out on the wire; only the *replay* is lost.
+                    self.put_failures += 1
         finally:
             if hold is not None:
                 hold.cancel()
@@ -700,6 +729,8 @@ class ServiceServer:
                 "root": str(self.cache.root),
                 "hits": self.cache.hits,
                 "misses": self.cache.misses,
+                "quarantined": self.cache.quarantined,
+                "put_failures": self.put_failures,
             }
         if self.leases is not None:
             payload["leases"] = self.leases.stats()
@@ -713,6 +744,21 @@ class ServiceServer:
         """Acknowledge, then stop the daemon."""
         asyncio.get_running_loop().call_soon(self.shutdown)
         return {"stopping": True}
+
+
+def _mangle_payload(payload: str) -> str:
+    """Deterministically damage a pickle payload string (chaos helper).
+
+    Implements ``service.reply.corrupt``: the last character of the
+    wire payload is swapped, so the client's checksum pass
+    (:func:`repro.service.protocol.unpack_pickle`) must raise
+    :class:`~repro.service.protocol.ServiceCorruptPayload` rather than
+    consume mutated bytes.
+    """
+    if not payload:
+        return "A"
+    tail = "B" if payload[-1] == "A" else "A"
+    return payload[:-1] + tail
 
 
 def _fold_sinr(gain_operator, noise: float, beta: float, sets) -> list:

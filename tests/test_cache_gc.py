@@ -128,7 +128,124 @@ class TestTmpSweep:
         self._debris(tmp_path, "deadbeef.lease", 7200)
         assert cache_gc.main(["--cache-dir", str(tmp_path)]) == 0
         out = capsys.readouterr().out
-        assert "swept 1 stale tmp/lease file(s)" in out
+        assert "swept 1 stale debris file(s)" in out
+
+
+class TestClockSkew:
+    """Regression (PR 9 satellite): future file mtimes — a skewed NFS
+    client, a container with a broken clock — must not pin entries in
+    the cache as 'freshest forever' or make debris unsweepable."""
+
+    @staticmethod
+    def _future(path, ahead_s):
+        future = time.time() + ahead_s
+        os.utime(path, (future, future))
+
+    def test_future_entry_ranks_oldest_not_freshest(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _fill(cache, ["honest_old", "honest_new"])
+        cache.put("skewed", (b"x" * 1000, {}))
+        self._future(cache._path("skewed"), 86400)
+        cache.prune(max_entries=2, tmp_grace_s=None)
+        # The skewed entry is evicted first; honestly-dated entries
+        # keep their LRU order.
+        assert cache.get("skewed") is None
+        assert cache.get("honest_old") is not None
+        assert cache.get("honest_new") is not None
+
+    def test_mild_skew_within_tolerance_is_freshest(self, tmp_path):
+        from repro.fastsim.cache import CLOCK_SKEW_TOLERANCE_S
+
+        cache = ResultCache(tmp_path)
+        _fill(cache, ["old", "new"])
+        cache.put("slightly_ahead", (b"x" * 1000, {}))
+        self._future(
+            cache._path("slightly_ahead"), CLOCK_SKEW_TOLERANCE_S / 2
+        )
+        cache.prune(max_entries=2, tmp_grace_s=None)
+        # Sub-tolerance skew (mtime granularity, small drift) still
+        # ranks by mtime: the genuinely old entry goes first.
+        assert cache.get("old") is None
+        assert cache.get("slightly_ahead") is not None
+
+    def test_far_future_debris_swept_immediately(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        debris = tmp_path / ".abcd1234.x7.tmp"
+        debris.write_bytes(b"orphan")
+        self._future(debris, 86400)
+        # Never ages into the grace horizon by waiting — the skew
+        # tolerance catches it on the next sweep.
+        report = cache.prune()
+        assert report["tmp_swept"] == 1
+        assert not debris.exists()
+
+
+class TestQuarantineSweep:
+    """Quarantined entries are preserved for inspection, surfaced in
+    prune() stats, and aged out like other debris."""
+
+    def test_prune_counts_and_ages_quarantines(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _fill(cache, ["good"])
+        bad = tmp_path / "bad.quarantine"
+        bad.write_bytes(b"preserved corpse")
+        report = cache.prune()
+        assert report["quarantined"] == 1
+        assert bad.exists()  # younger than the grace window
+        old = time.time() - 7200
+        os.utime(bad, (old, old))
+        report = cache.prune()
+        assert report["tmp_swept"] == 1
+        assert not bad.exists()
+        assert cache.get("good") is not None
+
+
+class TestVerifyCli:
+    """``cache_gc.py --verify``: read-only audit, nonzero exit on
+    corruption (the fleet-cron alerting contract)."""
+
+    def test_clean_cache_exits_zero(self, tmp_path, capsys):
+        cache = ResultCache(tmp_path)
+        _fill(cache, ["a", "b"])
+        assert cache_gc.main(
+            ["--cache-dir", str(tmp_path), "--verify"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 verified" in out and "0 corrupt" in out
+
+    def test_corrupt_entry_exits_nonzero(self, tmp_path, capsys):
+        cache = ResultCache(tmp_path)
+        _fill(cache, ["a", "b"])
+        path = cache._path("b")
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+        assert cache_gc.main(
+            ["--cache-dir", str(tmp_path), "--verify"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "1 corrupt" in out and "b" in out
+        # Read-only: the corrupt entry is reported, not renamed.
+        assert path.exists()
+
+    def test_quarantine_exits_nonzero(self, tmp_path, capsys):
+        cache = ResultCache(tmp_path)
+        _fill(cache, ["a"])
+        (tmp_path / "dead.quarantine").write_bytes(b"x")
+        assert cache_gc.main(
+            ["--cache-dir", str(tmp_path), "--verify"]
+        ) == 1
+        assert "1 quarantined" in capsys.readouterr().out
+
+    def test_legacy_entries_are_not_corruption(self, tmp_path, capsys):
+        import pickle
+
+        cache = ResultCache(tmp_path)
+        (tmp_path / "old.pkl").write_bytes(pickle.dumps(("v", {})))
+        assert cache_gc.main(
+            ["--cache-dir", str(tmp_path), "--verify"]
+        ) == 0
+        assert "1 legacy" in capsys.readouterr().out
 
 
 class TestCacheGcCli:

@@ -10,9 +10,17 @@ Usage::
 
     python tools/cache_gc.py [--cache-dir .repro-cache]
                              [--max-mb N] [--max-entries N] [--dry-run]
+    python tools/cache_gc.py --verify [--cache-dir .repro-cache]
 
 With no budget it only reports.  The experiments CLI exposes the same
 eviction as ``python -m repro.experiments ... --cache-prune MB``.
+
+``--verify`` runs the read-only integrity audit instead: every entry's
+checksum header is validated (``ResultCache.verify``), corrupt entries
+and on-disk quarantines are reported, and the exit status is nonzero
+when corruption is found — so a fleet cron job
+(``cache_gc.py --verify || alert``) catches bit-rot before a sweep
+trips over it.
 """
 
 from __future__ import annotations
@@ -36,7 +44,27 @@ def format_report(report: dict) -> str:
     )
     swept = report.get("tmp_swept", 0)
     if swept:
-        line += f"; swept {swept} stale tmp/lease file(s)"
+        line += f"; swept {swept} stale debris file(s)"
+    quarantined = report.get("quarantined", 0)
+    if quarantined:
+        line += f"; {quarantined} quarantined entr(ies) present"
+    return line
+
+
+def format_verify_report(report: dict) -> str:
+    """Human-readable line for a ``--verify`` audit report."""
+    line = (
+        f"cache {report['root']}: {report['entries']} entries — "
+        f"{report['verified']} verified, {report['legacy']} legacy "
+        f"(no checksum), {report['corrupt']} corrupt, "
+        f"{report['quarantined']} quarantined"
+    )
+    if report["corrupt_keys"]:
+        shown = ", ".join(k[:16] for k in report["corrupt_keys"][:8])
+        more = len(report["corrupt_keys"]) - 8
+        line += f"\n  corrupt keys: {shown}" + (
+            f" (+{more} more)" if more > 0 else ""
+        )
     return line
 
 
@@ -76,11 +104,21 @@ def main(argv: "list[str] | None" = None) -> int:
         "--dry-run", action="store_true",
         help="report what would be evicted without deleting anything",
     )
+    parser.add_argument(
+        "--verify", action="store_true",
+        help="read-only integrity audit: validate every entry's "
+        "checksum, report corrupt/quarantined entries, exit nonzero "
+        "on corruption (for fleet cron alerting)",
+    )
     args = parser.parse_args(argv)
 
     from repro.fastsim.cache import ResultCache
 
     cache = ResultCache(args.cache_dir)
+    if args.verify:
+        report = cache.verify()
+        print(format_verify_report(report))
+        return 1 if (report["corrupt"] or report["quarantined"]) else 0
     report = cache.prune(
         max_bytes=(
             None if args.max_mb is None else int(args.max_mb * 1e6)

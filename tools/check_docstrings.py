@@ -39,6 +39,8 @@ FLOORS = {
     "repro.kernels": 100.0,
     "repro.service": 100.0,
     "repro.distrib": 100.0,
+    "repro.faults": 100.0,
+    "repro.fastsim.journal": 100.0,
 }
 
 
