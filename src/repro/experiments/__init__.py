@@ -17,6 +17,7 @@ E09   ad hoc wake-up ``O(D log^2 n)`` under adversarial wake times
 E10   consensus linear in ``log x``
 E11   leader election — unique leader whp
 E12   geometry-independence across same-graph deployments
+E16   hidden nodes — CSMA asymmetry vs coloring-derived TDMA
 ====  ==========================================================
 
 Run from the command line::

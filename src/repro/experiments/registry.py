@@ -21,6 +21,7 @@ from repro.experiments import (
     e13_channel_robustness,
     e14_scale,
     e15_mobility,
+    e16_hidden_node,
 )
 from repro.experiments.base import ExperimentReport
 
@@ -42,6 +43,7 @@ _REGISTRY: dict[str, RunFn] = {
     "E13": e13_channel_robustness.run,
     "E14": e14_scale.run,
     "E15": e15_mobility.run,
+    "E16": e16_hidden_node.run,
 }
 
 

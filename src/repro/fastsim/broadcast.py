@@ -90,12 +90,17 @@ def fast_spont_broadcast_batch(
     budget_scale: int = 16,
     tighten_eps: bool = True,
     network_hook=None,
+    mac_hook=None,
 ) -> list[BroadcastOutcome]:
     """Batched vectorized ``SBroadcast`` (Theorem 2).
 
     ``network_hook`` (optional, DESIGN.md §7) threads a per-round
     network callback through the coloring, the pilot round and the
     dissemination loop, so the broadcast runs over a moving deployment.
+    ``mac_hook`` (optional, DESIGN.md §11) threads the per-slot
+    transmit-decision callback through the same three stages; MAC
+    arbitration is shared across replications (round-keyed draws), so
+    the pilot round's single shared resolution is preserved.
     """
     if tighten_eps:
         constants = constants.with_eps_prime()
@@ -107,19 +112,23 @@ def fast_spont_broadcast_batch(
     coloring = fast_coloring_batch(
         network, constants, rngs,
         informed=informed, informed_round=informed_round,
-        network_hook=network_hook,
+        network_hook=network_hook, mac_hook=mac_hook,
     )
     colors = np.where(np.isnan(coloring.colors), 0.0, coloring.colors)
     diss_probs = dissemination_probs(colors, constants, n)
 
     # Pilot round: the source transmits alone (deterministic — resolved
     # once and shared across replications, which only differ in their
-    # informed sets at this point).
+    # informed sets at this point).  Under a MAC the arbitration is
+    # still shared (round-keyed draws), so the filtered mask stays one
+    # row and the shared resolve is preserved bit-for-bit.
     pilot_tx = np.zeros((1, n), dtype=bool)
     pilot_tx[0, source] = True
     pilot_round = coloring.rounds
     if network_hook is not None:
         network = network_hook(pilot_round, network)
+    if mac_hook is not None:
+        pilot_tx = mac_hook(pilot_round, pilot_tx, network)
     heard_from = resolve_reception_batch(
         network.gain_operator, pilot_tx, network.params.noise,
         network.params.beta, kernel=network.kernel_kind,
@@ -139,6 +148,7 @@ def fast_spont_broadcast_batch(
     last = dissemination_loop_batch(
         network, rngs, informed, informed_round, probs,
         pilot_round + 1, round_budget, network_hook=network_hook,
+        mac_hook=mac_hook,
     )
     return _outcomes(
         "SBroadcast(fast)", informed_round, last,
@@ -156,6 +166,7 @@ def fast_spont_broadcast(
     budget_scale: int = 16,
     tighten_eps: bool = True,
     network_hook=None,
+    mac_hook=None,
 ) -> BroadcastOutcome:
     """Vectorized ``SBroadcast`` (Theorem 2)."""
     if constants is None:
@@ -166,6 +177,7 @@ def fast_spont_broadcast(
         network, source, constants, [rng],
         round_budget=round_budget, budget_scale=budget_scale,
         tighten_eps=tighten_eps, network_hook=network_hook,
+        mac_hook=mac_hook,
     )[0]
 
 
@@ -178,6 +190,7 @@ def fast_nospont_broadcast_batch(
     max_phases: Optional[int] = None,
     budget_slack: int = 8,
     network_hook=None,
+    mac_hook=None,
 ) -> list[BroadcastOutcome]:
     """Batched vectorized ``NoSBroadcast`` (Theorem 1).
 
@@ -215,6 +228,7 @@ def fast_nospont_broadcast_batch(
             round_offset=round_no,
             enabled=running,
             network_hook=network_hook,
+            mac_hook=mac_hook,
         )
         round_no += coloring.rounds
         colors = np.where(np.isnan(coloring.colors), 0.0, coloring.colors)
@@ -228,6 +242,7 @@ def fast_nospont_broadcast_batch(
         last = dissemination_loop_batch(
             network, rngs, informed, informed_round, probs,
             round_no, part2, enabled=running, network_hook=network_hook,
+            mac_hook=mac_hook,
         )
         round_no = round_no + part2
         total_rounds[running] = np.where(
@@ -250,6 +265,8 @@ def fast_nospont_broadcast(
     *,
     max_phases: Optional[int] = None,
     budget_slack: int = 8,
+    network_hook=None,
+    mac_hook=None,
 ) -> BroadcastOutcome:
     """Vectorized ``NoSBroadcast`` (Theorem 1)."""
     if constants is None:
@@ -259,6 +276,7 @@ def fast_nospont_broadcast(
     return fast_nospont_broadcast_batch(
         network, source, constants, [rng],
         max_phases=max_phases, budget_slack=budget_slack,
+        network_hook=network_hook, mac_hook=mac_hook,
     )[0]
 
 
@@ -274,12 +292,13 @@ def _flood_batch(
     round_budget: int,
     extras: Callable[[int], dict],
     network_hook=None,
+    mac_hook=None,
 ) -> list[BroadcastOutcome]:
     n = network.size
     informed, informed_round = _source_state(len(rngs), n, source)
     last = dissemination_loop_batch(
         network, rngs, informed, informed_round, prob_of_round,
-        0, round_budget, network_hook=network_hook,
+        0, round_budget, network_hook=network_hook, mac_hook=mac_hook,
     )
     return _outcomes(algorithm, informed_round, last, extras)
 
@@ -293,6 +312,7 @@ def fast_uniform_broadcast_batch(
     round_budget: Optional[int] = None,
     budget_scale: int = 64,
     network_hook=None,
+    mac_hook=None,
 ) -> list[BroadcastOutcome]:
     """Batched fixed-probability flooding (baseline)."""
     _check_source(network, source)
@@ -311,7 +331,7 @@ def fast_uniform_broadcast_batch(
 
     return _flood_batch(
         "UniformFlood(fast)", network, source, rngs, probs, round_budget,
-        lambda b: {"q": q}, network_hook=network_hook,
+        lambda b: {"q": q}, network_hook=network_hook, mac_hook=mac_hook,
     )
 
 
@@ -323,6 +343,8 @@ def fast_uniform_broadcast(
     *,
     round_budget: Optional[int] = None,
     budget_scale: int = 64,
+    network_hook=None,
+    mac_hook=None,
 ) -> BroadcastOutcome:
     """Vectorized fixed-probability flooding (baseline)."""
     if rng is None:
@@ -330,6 +352,7 @@ def fast_uniform_broadcast(
     return fast_uniform_broadcast_batch(
         network, source, [rng], q,
         round_budget=round_budget, budget_scale=budget_scale,
+        network_hook=network_hook, mac_hook=mac_hook,
     )[0]
 
 
@@ -341,6 +364,8 @@ def fast_decay_broadcast_batch(
     ladder_len: Optional[int] = None,
     round_budget: Optional[int] = None,
     budget_scale: int = 96,
+    network_hook=None,
+    mac_hook=None,
 ) -> list[BroadcastOutcome]:
     """Batched Decay sweep (the granularity-sensitive baseline)."""
     _check_source(network, source)
@@ -362,6 +387,7 @@ def fast_decay_broadcast_batch(
     return _flood_batch(
         "DecaySweep(fast)", network, source, rngs, probs, round_budget,
         lambda b: {"ladder_len": ladder_len},
+        network_hook=network_hook, mac_hook=mac_hook,
     )
 
 
@@ -373,6 +399,8 @@ def fast_decay_broadcast(
     ladder_len: Optional[int] = None,
     round_budget: Optional[int] = None,
     budget_scale: int = 96,
+    network_hook=None,
+    mac_hook=None,
 ) -> BroadcastOutcome:
     """Vectorized Decay sweep (the granularity-sensitive baseline)."""
     if rng is None:
@@ -381,6 +409,7 @@ def fast_decay_broadcast(
         network, source, [rng],
         ladder_len=ladder_len, round_budget=round_budget,
         budget_scale=budget_scale,
+        network_hook=network_hook, mac_hook=mac_hook,
     )[0]
 
 
@@ -392,6 +421,8 @@ def fast_local_broadcast_global_batch(
     round_budget: Optional[int] = None,
     budget_slack: int = 8,
     phase_scale: float = 2.0,
+    network_hook=None,
+    mac_hook=None,
 ) -> list[BroadcastOutcome]:
     """Batched local-broadcast composition (``Delta``-paying baseline)."""
     _check_source(network, source)
@@ -411,6 +442,7 @@ def fast_local_broadcast_global_batch(
         "LocalBroadcastGlobal(fast)", network, source, rngs, probs,
         round_budget,
         lambda b: {"max_degree": delta, "phase_length": phase_len},
+        network_hook=network_hook, mac_hook=mac_hook,
     )
 
 
@@ -422,6 +454,8 @@ def fast_local_broadcast_global(
     round_budget: Optional[int] = None,
     budget_slack: int = 8,
     phase_scale: float = 2.0,
+    network_hook=None,
+    mac_hook=None,
 ) -> BroadcastOutcome:
     """Vectorized local-broadcast composition (``Delta``-paying baseline)."""
     if rng is None:
@@ -430,4 +464,5 @@ def fast_local_broadcast_global(
         network, source, [rng],
         round_budget=round_budget, budget_slack=budget_slack,
         phase_scale=phase_scale,
+        network_hook=network_hook, mac_hook=mac_hook,
     )[0]

@@ -114,6 +114,7 @@ def fast_coloring_batch(
     round_offset: int = 0,
     enabled: Optional[np.ndarray] = None,
     network_hook=None,
+    mac_hook=None,
 ) -> FastColoringBatch:
     """Run ``B`` independent ``StabilizeProbability`` executions at once.
 
@@ -134,6 +135,11 @@ def fast_coloring_batch(
         round number; the returned network's gain operator resolves that
         round, so the coloring runs over a moving deployment.  Skipped
         blocks (every replication quit) do not advance the hook.
+    :param mac_hook: optional per-slot transmit-decision callback
+        (:data:`repro.mac.TransmitHook`, DESIGN.md §11), keyed by the
+        global round number — MAC arbitration is round-keyed, so a
+        replication's decisions are unchanged whether its batch skips a
+        quit block or runs it for other lanes.
     """
     n = network.size
     B = len(rngs)
@@ -180,6 +186,8 @@ def fast_coloring_batch(
                 gains = network.gain_operator
                 kern = network.kernel_kind
                 fused = _kernels.use_compiled_updates(kern)
+            if mac_hook is not None:
+                tx_mask = mac_hook(global_round, tx_mask, network)
             heard_from = resolve_reception_batch(
                 gains, tx_mask, noise, beta, kernel=kern
             )
@@ -243,6 +251,7 @@ def fast_coloring(
     informed: Optional[np.ndarray] = None,
     informed_round: Optional[np.ndarray] = None,
     round_offset: int = 0,
+    mac_hook=None,
 ) -> FastColoringResult:
     """Run one ``StabilizeProbability`` execution, vectorized.
 
@@ -268,5 +277,6 @@ def fast_coloring(
             None if informed_round is None else informed_round[None, :]
         ),
         round_offset=round_offset,
+        mac_hook=mac_hook,
     )
     return batch.replication(0)

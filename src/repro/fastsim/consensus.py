@@ -42,6 +42,7 @@ def fast_consensus_batch(
     box_budget: Optional[int] = None,
     budget_scale: int = 16,
     network_hook=None,
+    mac_hook=None,
 ) -> list[ConsensusResult]:
     """Agree on the minimum of each replication's values, batched.
 
@@ -54,6 +55,10 @@ def fast_consensus_batch(
         (DESIGN.md §7), threaded through the backbone coloring and every
         bit box; a stateful hook (``repro.deploy.mobility.mobility_hook``)
         keeps one trajectory across all stages.
+    :param mac_hook: optional per-slot transmit-decision callback
+        (:data:`repro.mac.TransmitHook`, DESIGN.md §11), threaded
+        through the backbone coloring and every bit box (round-keyed
+        arbitration makes the skipped silent boxes stream-neutral).
     """
     n = network.size
     B = len(rngs)
@@ -72,7 +77,8 @@ def fast_consensus_batch(
         raise ProtocolError(f"some value does not fit in {width} bits")
 
     backbone = fast_coloring_batch(
-        network, constants, rngs, network_hook=network_hook
+        network, constants, rngs, network_hook=network_hook,
+        mac_hook=mac_hook,
     )
     base_colors = np.where(np.isnan(backbone.colors), 0.0, backbone.colors)
     total_rounds = np.full(B, backbone.rounds, dtype=int)
@@ -101,6 +107,7 @@ def fast_consensus_batch(
                 round_budget=box_budget,
                 enabled=live,
                 network_hook=network_hook,
+                mac_hook=mac_hook,
             )
             heard = np.stack(
                 [out.informed_round >= 0 for out in outcomes]
@@ -148,6 +155,7 @@ def fast_consensus(
     box_budget: Optional[int] = None,
     budget_scale: int = 16,
     network_hook=None,
+    mac_hook=None,
 ) -> ConsensusResult:
     """Vectorized min-consensus (the ``B = 1`` batched case).
 
@@ -167,5 +175,5 @@ def fast_consensus(
     return fast_consensus_batch(
         network, values, x_max, constants, [rng],
         box_budget=box_budget, budget_scale=budget_scale,
-        network_hook=network_hook,
+        network_hook=network_hook, mac_hook=mac_hook,
     )[0]

@@ -102,6 +102,7 @@ def dissemination_loop_batch(
     budget: int,
     enabled: Optional[np.ndarray] = None,
     network_hook: Optional[Callable[[int, Network], Network]] = None,
+    mac_hook=None,
 ) -> np.ndarray:
     """Batched flooding until every replication informs everyone or times out.
 
@@ -127,6 +128,14 @@ def dissemination_loop_batch(
         :func:`repro.deploy.mobility.mobility_hook`): multi-stage
         kernels re-pass their static snapshot, not a previous stage's
         result.
+    :param mac_hook: optional per-slot transmit-decision callback
+        (:data:`repro.mac.TransmitHook`, DESIGN.md §11): called after
+        the protocol's transmission intents are computed (and after the
+        network hook, so arbitration sees the round's geometry), it
+        returns the subset of intents actually transmitting.  MACs only
+        *remove* transmitters; protocol state advances on the filtered
+        mask, exactly as a real station that deferred would not have
+        been heard.
     :returns: ``(B,)`` per-replication first unused round number.
     """
     B, n = informed.shape
@@ -155,6 +164,8 @@ def dissemination_loop_batch(
             gains = network.gain_operator
             kern = network.kernel_kind
             fused = _kernels.use_compiled_updates(kern)
+        if mac_hook is not None:
+            tx_mask = mac_hook(round_no, tx_mask, network)
         heard_from = resolve_reception_batch(
             gains, tx_mask, noise, beta, kernel=kern
         )

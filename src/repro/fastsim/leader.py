@@ -31,11 +31,14 @@ def fast_leader_election_batch(
     *,
     box_budget: Optional[int] = None,
     network_hook=None,
+    mac_hook=None,
 ) -> list[LeaderElectionResult]:
     """Batched leader election over seed-spawned replications.
 
     ``network_hook`` (optional, DESIGN.md §7) is forwarded to the
-    underlying consensus so the election runs over a moving deployment.
+    underlying consensus so the election runs over a moving deployment;
+    ``mac_hook`` (DESIGN.md §11) likewise threads MAC arbitration
+    through every consensus stage.
     """
     n = network.size
     if n < 1:
@@ -46,7 +49,7 @@ def fast_leader_election_batch(
     )
     results = fast_consensus_batch(
         network, ids, id_space, constants, rngs, box_budget=box_budget,
-        network_hook=network_hook,
+        network_hook=network_hook, mac_hook=mac_hook,
     )
     elections = []
     for b, result in enumerate(results):
@@ -74,6 +77,7 @@ def fast_leader_election(
     *,
     box_budget: Optional[int] = None,
     network_hook=None,
+    mac_hook=None,
 ) -> LeaderElectionResult:
     """Vectorized leader election (the ``B = 1`` batched case).
 
@@ -86,5 +90,5 @@ def fast_leader_election(
         rng = np.random.default_rng(0)
     return fast_leader_election_batch(
         network, constants, [rng], box_budget=box_budget,
-        network_hook=network_hook,
+        network_hook=network_hook, mac_hook=mac_hook,
     )[0]

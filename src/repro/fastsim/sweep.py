@@ -108,6 +108,24 @@ def _coloring_headline(result) -> tuple[float, bool]:
     return float(result.rounds), True
 
 
+def _traffic_headline(result) -> tuple[float, bool]:
+    # Headline is mean delivery latency; a replication succeeds when its
+    # accounting closes and at least one packet arrived.
+    return (
+        result.mean_latency(),
+        bool(result.conservation_ok() and result.delivered() > 0),
+    )
+
+
+def _batch_traffic(network, constants, rngs, **kwargs):
+    from repro.traffic.engine import run_traffic
+
+    # Sequential per-replication runs: the traffic engine is a queueing
+    # simulation, so "batched == sequential" is definitional here —
+    # replication b consumes only rngs[b] and a fresh MAC session.
+    return [run_traffic(network, rng=rng, **kwargs) for rng in rngs]
+
+
 def _batch_coloring(network, constants, rngs, **kwargs):
     batch = fast_coloring_batch(network, constants, rngs, **kwargs)
     return [batch.replication(b) for b in range(batch.batch_size)]
@@ -152,11 +170,19 @@ def _reference_leader(network, constants, rng, **kwargs):
 
 @dataclass(frozen=True)
 class _SweepKind:
-    """One sweepable protocol: batched kernel + fallback + extractor."""
+    """One sweepable protocol: batched kernel + fallback + extractor.
+
+    ``takes_mac`` marks kinds whose runner accepts a
+    :class:`repro.mac.MacModel` directly as a ``mac=`` argument (the
+    traffic engine builds its own sessions); other kinds receive MAC
+    models translated into the kernels' ``mac_hook`` callback by
+    :func:`run_sweep`.
+    """
 
     headline: Callable
     batch: Optional[Callable] = None
     reference: Optional[Callable] = None
+    takes_mac: bool = False
 
 
 def _source_batch(batch_fn, needs_constants: bool = True):
@@ -224,6 +250,11 @@ SWEEP_KINDS: dict[str, _SweepKind] = {
             fast_leader_election_batch(network, constants, rngs, **kw),
         reference=_reference_leader,
     ),
+    "traffic": _SweepKind(
+        headline=_traffic_headline,
+        batch=_batch_traffic,
+        takes_mac=True,
+    ),
 }
 
 
@@ -260,7 +291,14 @@ def run_sweep(
         replications, DESIGN.md §7) by translating the model into the
         kernels' ``network_hook`` callback.  The model rides in the
         kwargs, so grid cache keys cover its ``identity()`` and dynamic
-        results never collide with static ones.
+        results never collide with static ones.  ``mac=`` accepts a
+        :class:`repro.mac.MacModel` the same way (DESIGN.md §11):
+        protocol kinds get it translated into the kernels' ``mac_hook``
+        per-slot callback, the ``"traffic"`` kind consumes the model
+        directly; either way the model stays in the kwargs, so cache
+        keys cover MAC identity too.  The ``"traffic"`` kind also needs
+        ``flows=[...]`` and ``rounds=N`` (see
+        :func:`repro.traffic.engine.run_traffic`).
     """
     try:
         spec = SWEEP_KINDS[kind]
@@ -283,6 +321,21 @@ def run_sweep(
         from repro.deploy.mobility import mobility_hook
 
         kwargs["network_hook"] = mobility_hook(mobility)
+
+    mac = kwargs.pop("mac", None)
+    if mac is not None:
+        if spec.takes_mac:
+            kwargs["mac"] = mac
+        else:
+            if not use_batch or spec.batch is None:
+                raise ProtocolError(
+                    "MAC sweeps need a batched kernel: the reference "
+                    "simulator has no per-slot transmit-decision hook "
+                    f"(kind {kind!r} with use_batch={use_batch})"
+                )
+            from repro.mac import mac_hook
+
+            kwargs["mac_hook"] = mac_hook(mac)
 
     if use_batch and spec.batch is not None:
         outcomes = spec.batch(network, constants, rngs, **kwargs)

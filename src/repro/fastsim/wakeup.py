@@ -145,6 +145,7 @@ def fast_adhoc_wakeup_batch(
     round_budget: Optional[int] = None,
     budget_slack: int = 8,
     network_hook: Optional[Callable[[int, Network], Network]] = None,
+    mac_hook=None,
 ) -> list[BroadcastOutcome]:
     """Batched ad hoc wake-up under one adversarial schedule.
 
@@ -161,6 +162,11 @@ def fast_adhoc_wakeup_batch(
         the hook returns, so the wake-up runs over a moving deployment
         (the default round budget still derives from the *initial*
         network's diameter).
+    :param mac_hook: optional per-slot transmit-decision callback
+        (:data:`repro.mac.TransmitHook`, DESIGN.md §11): applied to each
+        round's transmission intents before reception resolves; the
+        coloring state observes the *filtered* mask, exactly as a
+        deferring real station would not have transmitted.
     """
     n = network.size
     B = len(rngs)
@@ -230,6 +236,8 @@ def fast_adhoc_wakeup_batch(
             gains = network.gain_operator
             kern = network.kernel_kind
             fused = _kernels.use_compiled_updates(kern)
+        if mac_hook is not None:
+            tx_mask = mac_hook(round_no, tx_mask, network)
         heard_from = resolve_reception_batch(
             gains, tx_mask, noise, beta, kernel=kern
         )
@@ -280,6 +288,7 @@ def fast_adhoc_wakeup(
     round_budget: Optional[int] = None,
     budget_slack: int = 8,
     network_hook=None,
+    mac_hook=None,
 ) -> BroadcastOutcome:
     """Vectorized ad hoc wake-up (the ``B = 1`` batched case)."""
     if constants is None:
@@ -289,7 +298,7 @@ def fast_adhoc_wakeup(
     return fast_adhoc_wakeup_batch(
         network, schedule, constants, [rng],
         round_budget=round_budget, budget_slack=budget_slack,
-        network_hook=network_hook,
+        network_hook=network_hook, mac_hook=mac_hook,
     )[0]
 
 
@@ -327,6 +336,7 @@ def fast_colored_wakeup_batch(
     refresh_coloring: bool = True,
     enabled: Optional[np.ndarray] = None,
     network_hook: Optional[Callable[[int, Network], Network]] = None,
+    mac_hook=None,
 ) -> list[BroadcastOutcome]:
     """Batched wake-up with established coloring (Sect. 5).
 
@@ -342,6 +352,11 @@ def fast_colored_wakeup_batch(
         (DESIGN.md §7), threaded through the auxiliary coloring and the
         dissemination loop so the whole execution rides one moving
         deployment.
+    :param mac_hook: optional per-slot transmit-decision callback
+        (:data:`repro.mac.TransmitHook`, DESIGN.md §11), threaded
+        through both stages.  Stage-local round numbers key the
+        arbitration (each stage restarts at 0), so batched and
+        sequential executions see identical MAC decisions.
     """
     n = network.size
     B = len(rngs)
@@ -367,7 +382,7 @@ def fast_colored_wakeup_batch(
     if refresh_coloring:
         aux = fast_coloring_batch(
             network, constants, rngs, participants=masks, enabled=enabled,
-            network_hook=network_hook,
+            network_hook=network_hook, mac_hook=mac_hook,
         )
         aux_rounds = aux.rounds
         q_colors = np.where(np.isnan(aux.colors), 0.0, aux.colors)
@@ -388,6 +403,7 @@ def fast_colored_wakeup_batch(
     last = dissemination_loop_batch(
         network, rngs, informed, informed_round, probs,
         0, round_budget, enabled=enabled, network_hook=network_hook,
+        mac_hook=mac_hook,
     )
 
     outcomes = []
@@ -426,6 +442,7 @@ def fast_colored_wakeup(
     budget_scale: int = 16,
     refresh_coloring: bool = True,
     network_hook=None,
+    mac_hook=None,
 ) -> BroadcastOutcome:
     """Vectorized wake-up with established coloring (``B = 1``)."""
     if constants is None:
@@ -436,4 +453,5 @@ def fast_colored_wakeup(
         network, initiators, base_colors, constants, [rng],
         round_budget=round_budget, budget_scale=budget_scale,
         refresh_coloring=refresh_coloring, network_hook=network_hook,
+        mac_hook=mac_hook,
     )[0]

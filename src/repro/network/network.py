@@ -382,6 +382,18 @@ class Network:
         The *kernel* choice is deliberately absent: compiled and numpy
         kernels are bitwise identical (DESIGN.md §2.3), so their runs
         may — must — share cache entries.
+
+        Run-time strategy objects — a
+        :class:`~repro.deploy.mobility.MobilityModel`, a
+        :class:`~repro.mac.MacModel`, traffic flows, a
+        :class:`~repro.mac.RateTable` — are likewise absent *by
+        design*: they describe how a run exercises the network, not
+        the network itself.  Their ``identity()`` reaches cache keys
+        through the sweep kwargs instead
+        (:func:`repro.fastsim.cache.point_key` fingerprints every
+        kwarg, DESIGN.md §11.4), so a ``mac=`` or traffic sweep can
+        never alias a bare sweep's cached results even though both ran
+        on the same fingerprint.
         """
         if self._fingerprint is None:
             identity = (

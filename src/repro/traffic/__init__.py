@@ -1,0 +1,26 @@
+"""Traffic-injection workload engine (DESIGN.md §11.5–§11.7).
+
+Seeded arrival processes feed per-flow queues; packets forward hop by
+hop over ``Network.graph`` shortest paths, each slot arbitrated by a
+:class:`~repro.mac.MacModel` and resolved by the SINR machinery, with
+optional :class:`~repro.mac.RateTable` adaptive rates.  The result is
+per-flow throughput / latency / fairness (Jain index) — the
+requests-level view of the network that round-count experiments cannot
+see.
+"""
+
+from repro.traffic.arrivals import CBR, ArrivalProcess, OnOff, Poisson
+from repro.traffic.engine import Flow, FlowStats, TrafficResult, run_traffic
+from repro.traffic.metrics import jain_index
+
+__all__ = [
+    "ArrivalProcess",
+    "Poisson",
+    "CBR",
+    "OnOff",
+    "Flow",
+    "FlowStats",
+    "TrafficResult",
+    "run_traffic",
+    "jain_index",
+]

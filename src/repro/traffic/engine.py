@@ -1,0 +1,286 @@
+"""Per-flow queued multihop forwarding under a MAC (DESIGN.md §11.6).
+
+One :func:`run_traffic` call plays ``rounds`` slots of a traffic
+workload on one network: seeded arrival processes inject packets into
+per-station FIFO queues, heads-of-line contend for the medium through a
+:class:`~repro.mac.MacModel`, the SINR resolver decides which next hop
+actually heard its predecessor, and an optional
+:class:`~repro.mac.RateTable` lets high-margin slots carry several
+packets.  Everything is deterministic given ``(network, flows, rounds,
+rng, mac, rate_table)`` — arrivals are drawn up front in flow order with
+fixed stream consumption, queues advance in station-index order, and MAC
+arbitration is round-keyed — so a workload replays bit-for-bit across
+``jobs=1`` / ``jobs=N`` grid execution and the service path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ProtocolError
+from repro.mac import MacModel, RateTable, SlottedAloha
+from repro.network.network import Network
+from repro.sinr.reception import NO_SENDER, resolve_reception, sinr_values
+from repro.traffic.arrivals import ArrivalProcess
+from repro.traffic.metrics import jain_index
+
+
+@dataclass(frozen=True)
+class Flow:
+    """One unidirectional traffic demand: ``src`` to ``dst``.
+
+    Packets follow the shortest path in ``Network.graph`` (ties broken
+    by networkx's BFS order, deterministic for a fixed network); the
+    arrival process decides how many packets enter ``src``'s queue each
+    round.
+    """
+
+    src: int
+    dst: int
+    arrivals: ArrivalProcess
+
+    def identity(self) -> tuple:
+        """Hashable tuple of primitives pinning the flow."""
+        return ("flow", self.src, self.dst, self.arrivals.identity())
+
+    def fingerprint(self) -> str:
+        """Content hash of :meth:`identity` (cache-key hook)."""
+        return hashlib.sha256(repr(self.identity()).encode()).hexdigest()
+
+
+@dataclass
+class FlowStats:
+    """Outcome counters of one flow after a :func:`run_traffic` run."""
+
+    flow: Flow
+    path: tuple
+    injected: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    queued: int = 0
+    collisions: int = 0
+    latencies: list = field(default_factory=list)
+
+    def throughput(self, rounds: int) -> float:
+        """Delivered packets per round."""
+        return self.delivered / rounds if rounds else 0.0
+
+    def mean_latency(self) -> float:
+        """Mean slots from injection to delivery (NaN if none arrived)."""
+        return (
+            float(np.mean(self.latencies)) if self.latencies else float("nan")
+        )
+
+    def conserved(self) -> bool:
+        """Flow conservation: injected == delivered + queued + dropped."""
+        return self.injected == self.delivered + self.queued + self.dropped
+
+
+@dataclass
+class TrafficResult:
+    """Aggregate outcome of one :func:`run_traffic` workload run."""
+
+    flows: list
+    rounds: int
+    transmissions: int
+    collisions: int
+
+    def throughputs(self) -> list:
+        """Per-flow delivered packets per round, in flow order."""
+        return [fs.throughput(self.rounds) for fs in self.flows]
+
+    def jain(self) -> float:
+        """Jain fairness index of the per-flow throughputs."""
+        return jain_index(self.throughputs())
+
+    def conservation_ok(self) -> bool:
+        """Whether every flow's packets are fully accounted for."""
+        return all(fs.conserved() for fs in self.flows)
+
+    def delivered(self) -> int:
+        """Total packets delivered across all flows."""
+        return sum(fs.delivered for fs in self.flows)
+
+    def mean_latency(self) -> float:
+        """Mean delivery latency over all delivered packets (NaN if none)."""
+        lats = [lat for fs in self.flows for lat in fs.latencies]
+        return float(np.mean(lats)) if lats else float("nan")
+
+    def collision_rate(self) -> float:
+        """Fraction of transmissions that failed to reach their next hop."""
+        return (
+            self.collisions / self.transmissions if self.transmissions else 0.0
+        )
+
+
+def _flow_paths(network: Network, flows: Sequence[Flow]) -> list:
+    """Shortest ``Network.graph`` path per flow (ProtocolError if none)."""
+    import networkx as nx
+
+    graph = network.graph
+    paths = []
+    for k, flow in enumerate(flows):
+        n = network.size
+        if not (0 <= flow.src < n and 0 <= flow.dst < n):
+            raise ProtocolError(
+                f"flow {k} endpoints ({flow.src}, {flow.dst}) outside "
+                f"station range 0..{n - 1}"
+            )
+        if flow.src == flow.dst:
+            raise ProtocolError(f"flow {k} has src == dst == {flow.src}")
+        try:
+            path = nx.shortest_path(graph, flow.src, flow.dst)
+        except nx.NetworkXNoPath:
+            raise ProtocolError(
+                f"flow {k} ({flow.src} -> {flow.dst}) has no path in the "
+                "communication graph"
+            ) from None
+        paths.append(tuple(int(v) for v in path))
+    return paths
+
+
+def run_traffic(
+    network: Network,
+    flows: Sequence[Flow],
+    rounds: int,
+    rng: np.random.Generator,
+    *,
+    mac: Optional[MacModel] = None,
+    rate_table: Optional[RateTable] = None,
+    queue_cap: int = 64,
+) -> TrafficResult:
+    """Play one seeded traffic workload and account every packet.
+
+    Each slot: arrivals enter their flow's source queue (drops over
+    ``queue_cap`` are counted, never silent); every station with a
+    non-empty queue intends to transmit its head-of-line packet; the
+    MAC filters intents into actual transmitters; the SINR resolver
+    decides, per transmitter, whether its packet's next hop heard *it*
+    (hearing anyone else is a failed slot for that packet — counted as
+    a collision); delivered packets record their latency, forwarded
+    packets join the next hop's queue at the end of the slot in
+    transmitter-index order.  With a ``rate_table``, a successful slot
+    carries up to ``rate_for(SINR at the next hop)`` consecutive
+    head-of-line packets sharing that next hop.
+
+    :param flows: traffic demands; packets follow each flow's shortest
+        path, computed once on the initial network.
+    :param rounds: number of slots to play.
+    :param rng: arrival randomness — all flows' arrival streams are
+        drawn from it up front, in flow order, with fixed per-flow
+        stream consumption (DESIGN.md §11.6).
+    :param mac: medium-access model (default :class:`~repro.mac.SlottedAloha`
+        — every head-of-line packet contends every slot).
+    :param rate_table: optional SINR-thresholded rate adaptation.
+    :param queue_cap: per-station queue bound; arrivals and forwards
+        beyond it are dropped (and counted against their flow).
+    :returns: per-flow and aggregate accounting; see
+        :class:`TrafficResult`.
+    """
+    if rounds < 1:
+        raise ProtocolError(f"need at least one round, got {rounds}")
+    if queue_cap < 1:
+        raise ProtocolError(f"queue_cap must be >= 1, got {queue_cap}")
+    if not flows:
+        raise ProtocolError("need at least one flow")
+    if mac is None:
+        mac = SlottedAloha()
+    n = network.size
+    paths = _flow_paths(network, flows)
+    # next_hop[k][v]: flow k's successor of station v along its path.
+    next_hop = [
+        {path[i]: path[i + 1] for i in range(len(path) - 1)}
+        for path in paths
+    ]
+    arrival_counts = [
+        flow.arrivals.draw(rng, rounds) for flow in flows
+    ]
+    stats = [
+        FlowStats(flow=flow, path=paths[k])
+        for k, flow in enumerate(flows)
+    ]
+
+    session = mac.session(network)
+    gain = network.gain_operator
+    noise = network.params.noise
+    beta = network.params.beta
+    kern = network.kernel_kind
+
+    queues = [deque() for _ in range(n)]  # entries: (flow_id, inject_round)
+    transmissions = 0
+    collisions = 0
+    for t in range(rounds):
+        for k in range(len(flows)):
+            count = int(arrival_counts[k][t])
+            src = flows[k].src
+            for _ in range(count):
+                stats[k].injected += 1
+                if len(queues[src]) >= queue_cap:
+                    stats[k].dropped += 1
+                else:
+                    queues[src].append((k, t))
+        intents = np.array(
+            [bool(queues[v]) for v in range(n)], dtype=bool
+        )[None, :]
+        if not intents.any():
+            continue
+        tx_mask = (
+            np.asarray(session.transmit_mask(t, intents, network), dtype=bool)
+            & intents
+        )[0]
+        transmitters = np.flatnonzero(tx_mask)
+        if transmitters.size == 0:
+            continue
+        heard_from = resolve_reception(
+            gain, transmitters, noise, beta, kernel=kern
+        )
+        if rate_table is not None:
+            _best, sinr = sinr_values(gain, transmitters, noise, kernel=kern)
+        forwards = []  # (dest_station, flow_id, inject_round)
+        for v in transmitters.tolist():
+            transmissions += 1
+            k, _t0 = queues[v][0]
+            hop = next_hop[k][v]
+            if heard_from[hop] != v:
+                # The next hop heard someone else or nothing: the slot
+                # is wasted for this packet (hidden-node collisions and
+                # lost arbitration ties both land here).
+                collisions += 1
+                stats[k].collisions += 1
+                continue
+            budget = (
+                rate_table.rate_for(float(sinr[hop]))
+                if rate_table is not None
+                else 1
+            )
+            while budget > 0 and queues[v]:
+                k, t0 = queues[v][0]
+                if next_hop[k][v] != hop:
+                    break  # only packets riding the same link this slot
+                queues[v].popleft()
+                budget -= 1
+                if hop == flows[k].dst:
+                    stats[k].delivered += 1
+                    stats[k].latencies.append(t - t0 + 1)
+                else:
+                    forwards.append((hop, k, t0))
+        for hop, k, t0 in forwards:
+            if len(queues[hop]) >= queue_cap:
+                stats[k].dropped += 1
+            else:
+                queues[hop].append((k, t0))
+
+    for queue in queues:
+        for k, _t0 in queue:
+            stats[k].queued += 1
+    return TrafficResult(
+        flows=stats,
+        rounds=rounds,
+        transmissions=transmissions,
+        collisions=collisions,
+    )

@@ -1,0 +1,27 @@
+"""Fairness and summary metrics for traffic results."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def jain_index(xs: Sequence[float]) -> float:
+    """Jain's fairness index ``(sum x)^2 / (k * sum x^2)``.
+
+    Bounded in ``[1/k, 1]`` for ``k`` non-negative allocations with at
+    least one positive entry: 1 when all allocations are equal, ``1/k``
+    when one flow monopolizes the resource.  The degenerate all-zero
+    allocation (no flow delivered anything — everyone is equally badly
+    off) is defined as 1.0.
+    """
+    arr = np.asarray(list(xs), dtype=np.float64)
+    if arr.size == 0:
+        return 1.0
+    if (arr < 0).any():
+        raise ValueError("Jain index is defined on non-negative values")
+    total_sq = float((arr * arr).sum())
+    if total_sq == 0.0:
+        return 1.0
+    return float(arr.sum()) ** 2 / (arr.size * total_sq)

@@ -19,10 +19,10 @@ from repro.experiments.registry import get_experiment, list_experiments
 
 
 class TestRegistry:
-    def test_fifteen_experiments(self):
-        assert len(list_experiments()) == 15
+    def test_sixteen_experiments(self):
+        assert len(list_experiments()) == 16
         assert list_experiments()[0] == "E01"
-        assert list_experiments()[-1] == "E15"
+        assert list_experiments()[-1] == "E16"
 
     def test_lookup_case_insensitive(self):
         assert get_experiment("e05") is get_experiment("E05")

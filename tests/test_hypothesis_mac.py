@@ -1,0 +1,145 @@
+"""Hypothesis properties of the MAC layer (DESIGN.md §11).
+
+Quantified over random deployments, random intent masks, and random
+model knobs:
+
+* every session's output is a **subset of the intents** (MACs only
+  remove transmitters);
+* CSMA transmitters form an **independent set up to backoff ties** in
+  the sense graph — two transmitting sense-neighbours always hold equal
+  backoffs, and a transmitter never yields to a larger one;
+* TDMA slots are a **proper coloring of the interference graph** and
+  partition each frame (every station transmits exactly once per frame
+  when saturated);
+* :class:`~repro.mac.RateTable` lookups are **monotone** in SINR and
+  bounded by the table's extremes;
+* arbitration is a **pure function of ``(seed, round)``** — replaying
+  any round of any session gives the identical mask.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mac import CSMA, RateTable, SlottedAloha, TdmaFromColoring
+from repro.network.network import Network
+
+SIDES = {16: 1.6, 24: 2.0, 32: 2.2}
+
+
+def _net(seed: int, n: int) -> Network:
+    rng = np.random.default_rng(seed)
+    while True:
+        coords = rng.uniform(0.0, SIDES[n], size=(n, 2))
+        diff = coords[:, None, :] - coords[None, :, :]
+        dist = np.sqrt((diff ** 2).sum(axis=-1))
+        np.fill_diagonal(dist, np.inf)
+        if dist.min() > 1e-5:
+            return Network(coords)
+
+
+def _intents(seed: int, shape, density: float) -> np.ndarray:
+    return np.random.default_rng(seed).random(shape) < density
+
+
+MODEL = st.sampled_from(["aloha", "csma", "tdma"])
+
+
+def _model(kind: str, seed: int):
+    if kind == "aloha":
+        return SlottedAloha(0.7, seed=seed)
+    if kind == "csma":
+        return CSMA(cw=4, seed=seed)
+    return TdmaFromColoring(seed=seed)
+
+
+@given(
+    net_seed=st.integers(0, 50),
+    n=st.sampled_from([16, 24]),
+    kind=MODEL,
+    mac_seed=st.integers(0, 20),
+    intent_seed=st.integers(0, 50),
+    density=st.floats(0.1, 1.0),
+    round_no=st.integers(0, 200),
+)
+@settings(max_examples=40, deadline=None)
+def test_output_subset_of_intents_and_replayable(
+    net_seed, n, kind, mac_seed, intent_seed, density, round_no
+):
+    net = _net(net_seed, n)
+    model = _model(kind, mac_seed)
+    intents = _intents(intent_seed, (2, n), density)
+    tx = model.session(net).transmit_mask(round_no, intents, net)
+    assert tx.shape == intents.shape
+    assert not np.any(tx & ~intents)
+    replay = model.session(net).transmit_mask(round_no, intents, net)
+    assert np.array_equal(tx, replay)
+
+
+@given(
+    net_seed=st.integers(0, 50),
+    n=st.sampled_from([16, 24, 32]),
+    mac_seed=st.integers(0, 20),
+    cw=st.integers(2, 12),
+    intent_seed=st.integers(0, 50),
+    round_no=st.integers(0, 100),
+)
+@settings(max_examples=40, deadline=None)
+def test_csma_independent_set_up_to_ties(
+    net_seed, n, mac_seed, cw, intent_seed, round_no
+):
+    net = _net(net_seed, n)
+    session = CSMA(cw=cw, seed=mac_seed).session(net)
+    intents = _intents(intent_seed, (1, n), 0.8)
+    tx = session.transmit_mask(round_no, intents, net)[0]
+    backoff = session.round_backoff(round_no)
+    for i, j in zip(session.sense_i.tolist(), session.sense_j.tolist()):
+        if tx[i] and tx[j]:
+            assert backoff[i] == backoff[j]
+        elif tx[i] and intents[0, j]:
+            assert backoff[i] <= backoff[j]
+        elif tx[j] and intents[0, i]:
+            assert backoff[j] <= backoff[i]
+
+
+@given(
+    net_seed=st.integers(0, 50),
+    n=st.sampled_from([16, 24]),
+    mac_seed=st.integers(0, 20),
+    scale=st.floats(1.0, 3.0),
+)
+@settings(max_examples=25, deadline=None)
+def test_tdma_proper_coloring_and_frame_partition(
+    net_seed, n, mac_seed, scale
+):
+    net = _net(net_seed, n)
+    session = TdmaFromColoring(
+        interference_scale=scale, seed=mac_seed
+    ).session(net)
+    ii, jj = session.interference_pairs
+    assert np.all(session.slots[ii] != session.slots[jj])
+    assert set(np.unique(session.slots)) <= set(range(session.frame))
+    saturated = np.ones((1, n), dtype=bool)
+    counts = np.zeros(n, dtype=int)
+    for round_no in range(session.frame):
+        counts += session.transmit_mask(round_no, saturated, net)[0]
+    assert np.all(counts == 1)
+
+
+@given(
+    thresholds=st.lists(
+        st.floats(0.5, 50.0), min_size=1, max_size=5, unique=True
+    ),
+    sinrs=st.lists(st.floats(0.0, 100.0), min_size=2, max_size=10),
+)
+@settings(max_examples=50, deadline=None)
+def test_rate_table_monotone_and_bounded(thresholds, sinrs):
+    thresholds = sorted(thresholds)
+    rates = tuple(range(2, 2 + len(thresholds)))
+    table = RateTable(thresholds=tuple(thresholds), rates=rates)
+    values = sorted(sinrs)
+    looked_up = [table.rate_for(s) for s in values]
+    assert looked_up == sorted(looked_up)
+    assert all(1 <= r <= rates[-1] for r in looked_up)
+    assert table.rate_for(thresholds[0] - 1e-9) == 1
+    assert table.rate_for(thresholds[-1]) == rates[-1]

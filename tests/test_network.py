@@ -238,3 +238,33 @@ class TestNetworkCachesAndFingerprint:
         assert np.array_equal(shadowed.coords, small_square.coords)
         assert shadowed.params is small_square.params
         assert not np.array_equal(shadowed.gains, small_square.gains)
+
+    def test_mac_and_traffic_identity_lives_in_point_key(self):
+        # The MAC/traffic mirror of the channel-identity regression
+        # above: strategy objects are deliberately NOT part of the
+        # network fingerprint — they reach cache keys through the sweep
+        # kwargs, so runs under different MACs / workloads share a
+        # fingerprint yet never alias each other's cached results.
+        from repro.fastsim.cache import point_key
+        from repro.mac import CSMA, RateTable, SlottedAloha
+        from repro.traffic import Flow, Poisson
+
+        coords = np.random.default_rng(5).random((8, 2)) * 3.0
+        net = Network(coords)
+        assert net.fingerprint() == Network(coords).fingerprint()
+
+        def key(kwargs):
+            return point_key(
+                kind="spont_broadcast",
+                network_fingerprint=net.fingerprint(),
+                constants=None, seed=1, n_replications=2, kwargs=kwargs,
+            )
+
+        keys = {
+            key({"source": 0}),
+            key({"source": 0, "mac": SlottedAloha(0.5)}),
+            key({"source": 0, "mac": CSMA()}),
+            key({"source": 0, "rate_table": RateTable()}),
+            key({"source": 0, "flows": [Flow(0, 1, Poisson(1.0))]}),
+        }
+        assert len(keys) == 5

@@ -72,9 +72,19 @@ class TestReportsToMarkdown:
 class TestCliMarkdown:
     def test_cli_writes_markdown(self, tmp_path):
         from repro.experiments.__main__ import main
+        from repro.fastsim.grid import GridOptions, set_default_grid_options
 
         out = tmp_path / "report.md"
-        code = main(["E01", "--scale", "quick", "--markdown", str(out)])
+        try:
+            # The CLI installs process-wide GridOptions (including its
+            # cache dir); restore the defaults so the leak never poisons
+            # later tests' uncached run_grid calls.
+            code = main(
+                ["E01", "--scale", "quick", "--markdown", str(out),
+                 "--cache-dir", str(tmp_path / "cache")]
+            )
+        finally:
+            set_default_grid_options(GridOptions())
         assert code == 0
         text = out.read_text()
         assert "E01" in text

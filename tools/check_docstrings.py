@@ -41,6 +41,8 @@ FLOORS = {
     "repro.distrib": 100.0,
     "repro.faults": 100.0,
     "repro.fastsim.journal": 100.0,
+    "repro.mac": 100.0,
+    "repro.traffic": 100.0,
 }
 
 
